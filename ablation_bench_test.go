@@ -1,0 +1,139 @@
+// Ablation benchmarks for the design choices DESIGN.md calls out: each
+// sub-benchmark varies one parameter of the base design and reports the
+// resulting cycle count, quantifying how much that mechanism matters.
+package clustersmt_test
+
+import (
+	"fmt"
+	"testing"
+
+	"clustersmt/internal/config"
+	"clustersmt/internal/core"
+	"clustersmt/internal/workloads"
+)
+
+func runWith(b *testing.B, m config.Machine, app string, tweak func(*core.Simulator)) int64 {
+	b.Helper()
+	w, err := workloads.ByName(app)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := w.Build(m.Threads(), m.Chips, workloads.SizeRef)
+	sim, err := core.New(m, p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if tweak != nil {
+		tweak(sim)
+	}
+	res, err := sim.Run()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res.Cycles
+}
+
+// BenchmarkAblationFetchPolicy compares round-robin fetch against the
+// ICOUNT policy on the centralized SMT1, where the paper predicts the
+// fetch/queue-clogging bottleneck (§5.2 cites ICOUNT as the remedy).
+func BenchmarkAblationFetchPolicy(b *testing.B) {
+	for _, app := range []string{"vpenta", "ocean"} {
+		for _, icount := range []bool{false, true} {
+			name := fmt.Sprintf("%s/roundrobin", app)
+			if icount {
+				name = fmt.Sprintf("%s/icount", app)
+			}
+			b.Run(name, func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					cycles := runWith(b, config.LowEnd(config.SMT1), app, func(s *core.Simulator) {
+						s.SetICountFetch(icount)
+					})
+					b.ReportMetric(float64(cycles), "cycles")
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkAblationMSHRs sweeps the outstanding-load budget on the
+// memory-bound workload: the paper's 32 MSHRs vs starved and doubled
+// configurations.
+func BenchmarkAblationMSHRs(b *testing.B) {
+	for _, mshrs := range []int{2, 8, 32, 64} {
+		b.Run(fmt.Sprintf("mshrs=%d", mshrs), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				m := config.LowEnd(config.SMT2)
+				m.Mem.MSHRs = mshrs
+				cycles := runWith(b, m, "ocean", nil)
+				b.ReportMetric(float64(cycles), "cycles")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationBanks sweeps L1 banking (Table 3 uses 7 banks).
+func BenchmarkAblationBanks(b *testing.B) {
+	for _, banks := range []int{1, 2, 7, 16} {
+		b.Run(fmt.Sprintf("banks=%d", banks), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				m := config.LowEnd(config.SMT1)
+				m.Mem.L1Banks = banks
+				m.Mem.L2Banks = banks
+				cycles := runWith(b, m, "ocean", nil)
+				b.ReportMetric(float64(cycles), "cycles")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationPredictor sweeps the branch-prediction table from
+// trivially small to the paper's 2K entries on the branchiest workload.
+func BenchmarkAblationPredictor(b *testing.B) {
+	for _, entries := range []int{16, 128, 2048} {
+		b.Run(fmt.Sprintf("entries=%d", entries), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				m := config.LowEnd(config.FA1)
+				m.Arch.PredictorEntries = entries
+				m.Arch.BTBEntries = entries
+				cycles := runWith(b, m, "fmm", nil)
+				b.ReportMetric(float64(cycles), "cycles")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationWindow sweeps the per-cluster window/rename capacity
+// of a 4-issue cluster pair (FA2's shape) to show where the Table 2
+// sizing sits on the curve.
+func BenchmarkAblationWindow(b *testing.B) {
+	for _, window := range []int{16, 32, 64, 128} {
+		b.Run(fmt.Sprintf("window=%d", window), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				m := config.LowEnd(config.FA2)
+				m.Arch.Name = fmt.Sprintf("FA2w%d", window)
+				m.Arch.WindowEntries = window
+				m.Arch.RenameInt = window
+				m.Arch.RenameFP = window
+				cycles := runWith(b, m, "tomcatv", nil)
+				b.ReportMetric(float64(cycles), "cycles")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationRemoteLatency scales the Table 3 remote latencies on
+// the high-end machine (the paper notes its 4-node latencies are low;
+// this shows the clustered SMT's sensitivity to slower networks).
+func BenchmarkAblationRemoteLatency(b *testing.B) {
+	for _, scale := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("remote-x%d", scale), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				m := config.HighEnd(config.SMT2)
+				m.Mem.RemoteMemLat *= scale
+				m.Mem.RemoteL2Lat *= scale
+				cycles := runWith(b, m, "ocean", nil)
+				b.ReportMetric(float64(cycles), "cycles")
+			}
+		})
+	}
+}

@@ -1,0 +1,220 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation, plus microbenchmarks of the simulator's building blocks.
+// Each BenchmarkFigN op regenerates the complete experiment at the
+// reference input size; the printed metrics carry the headline numbers
+// (normalized execution times) so `go test -bench .` doubles as the
+// reproduction run.
+package clustersmt_test
+
+import (
+	"fmt"
+	"testing"
+
+	"clustersmt"
+	"clustersmt/internal/config"
+	"clustersmt/internal/harness"
+	"clustersmt/internal/model"
+	"clustersmt/internal/workloads"
+)
+
+// BenchmarkTable1FunctionalUnits exercises every opcode class through a
+// single-thread timing run (the Table 1 latencies in action).
+func BenchmarkTable1FunctionalUnits(b *testing.B) {
+	p := buildALUKernel()
+	for i := 0; i < b.N; i++ {
+		res, err := clustersmt.SimulateProgram(clustersmt.LowEnd(clustersmt.FA1), p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.Cycles), "cycles")
+	}
+}
+
+func buildALUKernel() *clustersmt.Program {
+	bld := clustersmt.NewProgram("alu")
+	bld.GlobalWords("nthreads", []uint64{1})
+	bld.Li(1, 0)
+	bld.Li(2, 2000)
+	bld.Fli(1, 1.5)
+	bld.Fli(2, 0.75)
+	bld.CountedLoop(1, 2, func() {
+		bld.Add(3, 1, 2)
+		bld.Mul(4, 3, 1)
+		bld.Div(5, 4, 2)
+		bld.Fadd(3, 1, 2)
+		bld.Fmul(4, 1, 2)
+		bld.Fdiv(5, 1, 2)
+	})
+	bld.Halt()
+	return bld.MustBuild()
+}
+
+// BenchmarkTable2Architectures runs one small workload across all seven
+// Table 2 presets.
+func BenchmarkTable2Architectures(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, arch := range clustersmt.Architectures() {
+			if _, err := clustersmt.Simulate(clustersmt.LowEnd(arch), "vpenta", clustersmt.SizeTest); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkTable3MemoryHierarchy stresses the Table 3 hierarchy with
+// the memory-bound workload.
+func BenchmarkTable3MemoryHierarchy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := clustersmt.Simulate(clustersmt.LowEnd(clustersmt.FA1), "ocean", clustersmt.SizeTest)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*res.Slots.Fraction(clustersmt.SlotMemory), "memory-slot-%")
+	}
+}
+
+// BenchmarkFig1Model evaluates the §2 analytical model over a dense
+// sweep of application points and all architectures.
+func BenchmarkFig1Model(b *testing.B) {
+	procs := make([]model.Proc, 0, 7)
+	for _, a := range config.AllArchs {
+		procs = append(procs, model.FromArch(a))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		total := 0.0
+		for t := 0.25; t <= 8; t += 0.25 {
+			for ilp := 0.25; ilp <= 8; ilp += 0.25 {
+				p := model.Point{Threads: t, ILP: ilp}
+				for _, pr := range procs {
+					total += pr.Delivered(p)
+					_ = pr.Classify(p)
+				}
+			}
+		}
+		if total <= 0 {
+			b.Fatal("model produced nothing")
+		}
+	}
+}
+
+func benchFigure(b *testing.B, run func(*harness.Suite) (*harness.Figure, error)) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		suite := harness.NewSuite(workloads.SizeRef)
+		fig, err := run(suite)
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Surface the headline metric: SMT2's average normalized
+		// execution time across applications.
+		sum := 0.0
+		for _, app := range fig.Apps {
+			sum += fig.Get(app, "SMT2").Normalized
+		}
+		b.ReportMetric(sum/float64(len(fig.Apps)), "SMT2-norm")
+		if !testing.Short() && b.N == 1 {
+			fmt.Print(fig.Render())
+		}
+	}
+}
+
+// BenchmarkFig4LowEndFAvsSMT2 regenerates Figure 4 (FA8/FA4/FA2/FA1 vs
+// SMT2, low-end machine, six applications).
+func BenchmarkFig4LowEndFAvsSMT2(b *testing.B) {
+	benchFigure(b, (*harness.Suite).Figure4)
+}
+
+// BenchmarkFig5HighEndFAvsSMT2 regenerates Figure 5 (the same
+// comparison on the 4-chip machine).
+func BenchmarkFig5HighEndFAvsSMT2(b *testing.B) {
+	benchFigure(b, (*harness.Suite).Figure5)
+}
+
+// BenchmarkFig6Placement regenerates the Figure 6 measurements (average
+// threads on FA8 × per-thread ILP on FA1, both machines).
+func BenchmarkFig6Placement(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		suite := harness.NewSuite(workloads.SizeRef)
+		for _, highEnd := range []bool{false, true} {
+			pts, err := suite.Placement(highEnd)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(pts) != 6 {
+				b.Fatal("missing placements")
+			}
+		}
+	}
+}
+
+// BenchmarkFig7LowEndSMTs regenerates Figure 7 (SMT8/SMT4/SMT2/SMT1,
+// low-end machine).
+func BenchmarkFig7LowEndSMTs(b *testing.B) {
+	benchFigure(b, (*harness.Suite).Figure7)
+}
+
+// BenchmarkFig8HighEndSMTs regenerates Figure 8 (the same on the 4-chip
+// machine).
+func BenchmarkFig8HighEndSMTs(b *testing.B) {
+	benchFigure(b, (*harness.Suite).Figure8)
+}
+
+// BenchmarkSimulatorThroughput measures raw simulation speed
+// (simulated instructions per host second) on the densest workload.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	var instrs uint64
+	for i := 0; i < b.N; i++ {
+		res, err := clustersmt.Simulate(clustersmt.LowEnd(clustersmt.SMT2), "swim", clustersmt.SizeRef)
+		if err != nil {
+			b.Fatal(err)
+		}
+		instrs += res.Committed
+	}
+	b.ReportMetric(float64(instrs)/b.Elapsed().Seconds(), "sim-instrs/s")
+}
+
+// BenchmarkPerApplication runs each workload once on SMT2 (low-end,
+// reference input) as individual sub-benchmarks.
+func BenchmarkPerApplication(b *testing.B) {
+	for _, w := range clustersmt.Workloads() {
+		b.Run(w.Name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := clustersmt.Simulate(clustersmt.LowEnd(clustersmt.SMT2), w, clustersmt.SizeRef)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(res.IPC, "IPC")
+			}
+		})
+	}
+}
+
+// BenchmarkMultiprogram measures multiprogrammed throughput: eight
+// independent sequential jobs (the six applications plus two synthetic
+// fillers) on each 8-context organization — the workload class of the
+// SMT studies the paper builds on.
+func BenchmarkMultiprogram(b *testing.B) {
+	mix := func() []*clustersmt.Program {
+		var js []*clustersmt.Program
+		for _, w := range clustersmt.Workloads() {
+			js = append(js, w.Build(1, 1, clustersmt.SizeTest))
+		}
+		js = append(js,
+			clustersmt.Synthetic(clustersmt.SyntheticSpec{IndepOps: 6, Iters: 1024}).Build(1, 1, clustersmt.SizeTest),
+			clustersmt.Synthetic(clustersmt.SyntheticSpec{ChainLen: 6, Iters: 1024}).Build(1, 1, clustersmt.SizeTest),
+		)
+		return js
+	}
+	for _, arch := range []clustersmt.Arch{clustersmt.FA8, clustersmt.SMT4, clustersmt.SMT2, clustersmt.SMT1} {
+		b.Run(arch.Name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := clustersmt.SimulateMultiprogram(clustersmt.LowEnd(arch), mix())
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(res.Cycles), "cycles")
+			}
+		})
+	}
+}

@@ -1,0 +1,114 @@
+// Command clustersim runs one simulation — an application on an
+// architecture and machine — and prints the paper-style result: cycle
+// count, IPC, the §4.1 issue-slot breakdown, and memory/synchronization
+// statistics.
+//
+// Usage:
+//
+//	clustersim [-arch SMT2] [-app ocean] [-highend] [-size ref] [-v]
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"clustersmt"
+	"clustersmt/internal/core"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("clustersim: ")
+
+	archName := flag.String("arch", "SMT2", "architecture: FA8, FA4, FA2, FA1, SMT8, SMT4, SMT2, SMT1")
+	appName := flag.String("app", "ocean", "application: swim, tomcatv, mgrid, vpenta, fmm, ocean (paper) or radix, lu (extras)")
+	highEnd := flag.Bool("highend", false, "simulate the 4-chip high-end machine instead of the 1-chip low-end")
+	sizeName := flag.String("size", "ref", "input size: test or ref")
+	verbose := flag.Bool("v", false, "print extended statistics")
+	tracePath := flag.String("trace", "", "write a pipeline trace to this file")
+	traceFrom := flag.Int64("trace-from", 0, "first cycle to trace")
+	traceTo := flag.Int64("trace-to", 0, "last cycle to trace (0 = to the end)")
+	flag.Parse()
+
+	arch, err := clustersmt.ArchByName(*archName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	size := clustersmt.SizeRef
+	switch strings.ToLower(*sizeName) {
+	case "ref":
+	case "test":
+		size = clustersmt.SizeTest
+	default:
+		log.Fatalf("unknown size %q (want test or ref)", *sizeName)
+	}
+	m := clustersmt.LowEnd(arch)
+	if *highEnd {
+		m = clustersmt.HighEnd(arch)
+	}
+
+	w, err := clustersmt.WorkloadByName(*appName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	prg := w.Build(m.Threads(), m.Chips, size)
+	sim, err := core.New(m, prg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		bw := bufio.NewWriter(f)
+		defer bw.Flush()
+		sim.TraceTo(bw, *traceFrom, *traceTo)
+	}
+	res, err := sim.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("machine   %s (%d chip(s), %d hardware contexts)\n", m.Name, m.Chips, m.Threads())
+	fmt.Printf("app       %s (%s input)\n", *appName, size)
+	fmt.Printf("cycles    %d\n", res.Cycles)
+	fmt.Printf("instrs    %d (IPC %.2f)\n", res.Committed, res.IPC)
+	fmt.Printf("threads   %.2f average running\n", res.AvgRunningThreads)
+	fmt.Println("issue-slot breakdown:")
+	for c := clustersmt.SlotUseful; c <= clustersmt.SlotOther; c++ {
+		fmt.Printf("  %-11s %6.2f%%\n", c, 100*res.Slots.Fraction(c))
+	}
+	if !*verbose {
+		return
+	}
+	fmt.Println("memory:")
+	fmt.Printf("  loads=%d stores=%d retries=%d tlb-misses=%d\n",
+		res.MemStats.Loads, res.MemStats.Stores, res.MemStats.LoadRetries, res.MemStats.TLBMisses)
+	for cls, n := range res.MemStats.ByClass {
+		if n == 0 {
+			continue
+		}
+		avg := float64(res.MemStats.LatencyByClass[cls]) / float64(n)
+		fmt.Printf("  class %d: %d accesses, avg latency %.1f cycles\n", cls, n, avg)
+	}
+	fmt.Println("coherence:")
+	fmt.Printf("  invalidations=%d downgrades=%d writebacks=%d 3-hops=%d net-messages=%d\n",
+		res.Invalidations, res.Downgrades, res.Writebacks, res.ThreeHops, res.NetMessages)
+	fmt.Println("synchronization:")
+	fmt.Printf("  lock-acquires=%d lock-conflicts=%d barrier-episodes=%d\n",
+		res.LockAcquires, res.LockConflicts, res.BarrierWaits)
+	fmt.Println("front end:")
+	fmt.Printf("  branch-mispredict=%.2f%% (%d/%d) btb-mispredict=%d/%d rename-stalls=%d window-stalls=%d forwarded-loads=%d\n",
+		100*res.MispredictRate(), res.BranchMispredicts, res.BranchLookups,
+		res.BTBMispredicts, res.BTBLookups, res.RenameStalls, res.WindowFullStalls, res.ForwardedLoads)
+	if len(res.PerThreadCommitted) <= 32 {
+		fmt.Printf("per-thread instructions: %v\n", res.PerThreadCommitted)
+	}
+	_ = os.Stdout
+}

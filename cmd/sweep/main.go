@@ -1,0 +1,101 @@
+// Command sweep maps the §2 (threads × ILP) plane empirically: it runs
+// a grid of synthetic workloads across the architectures and prints
+// which one wins at each point — the measured counterpart of the
+// paper's Figure 1 regions.
+//
+// Usage:
+//
+//	sweep [-archs FA8,FA4,FA2,FA1,SMT2] [-size test]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	"clustersmt"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("sweep: ")
+
+	archList := flag.String("archs", "FA8,FA4,FA2,FA1,SMT2", "comma-separated architectures to race")
+	sizeName := flag.String("size", "test", "input size: test or ref")
+	flag.Parse()
+
+	var archs []clustersmt.Arch
+	for _, name := range strings.Split(*archList, ",") {
+		a, err := clustersmt.ArchByName(strings.TrimSpace(name))
+		if err != nil {
+			log.Fatal(err)
+		}
+		archs = append(archs, a)
+	}
+	size := clustersmt.SizeTest
+	if strings.ToLower(*sizeName) == "ref" {
+		size = clustersmt.SizeRef
+	}
+
+	// Plane axes: ParCap (threads) × ChainLen (inverse ILP).
+	caps := []int{1, 2, 4, 0} // 0 = all 8 contexts
+	chains := []int{0, 2, 4, 8}
+
+	fmt.Println("winner at each (threads x ILP) point (rows: dependence chain, columns: parallel width)")
+	fmt.Printf("%-18s", "")
+	for _, c := range caps {
+		label := fmt.Sprintf("par=%d", c)
+		if c == 0 {
+			label = "par=all"
+		}
+		fmt.Printf("%10s", label)
+	}
+	fmt.Println()
+
+	for _, ch := range chains {
+		label := fmt.Sprintf("chain=%d (ILP~%s)", ch, ilpLabel(ch))
+		fmt.Printf("%-18s", label)
+		for _, cp := range caps {
+			spec := clustersmt.SyntheticSpec{
+				ParCap:   cp,
+				ChainLen: ch,
+				IndepOps: 6 - min(6, ch),
+				Iters:    2048,
+			}
+			w := clustersmt.Synthetic(spec)
+			best, bestCycles := "", int64(0)
+			for _, a := range archs {
+				res, err := clustersmt.Simulate(clustersmt.LowEnd(a), w, size)
+				if err != nil {
+					log.Fatal(err)
+				}
+				if best == "" || res.Cycles < bestCycles {
+					best, bestCycles = a.Name, res.Cycles
+				}
+			}
+			fmt.Printf("%10s", best)
+		}
+		fmt.Println()
+	}
+	fmt.Println("\n(the diagonal structure is the paper's Figure 1: narrow points go to wide")
+	fmt.Println(" clusters, thready points to many clusters, and the clustered SMT covers both)")
+}
+
+func ilpLabel(chain int) string {
+	switch {
+	case chain == 0:
+		return "high"
+	case chain <= 3:
+		return "mid"
+	default:
+		return "low"
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

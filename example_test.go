@@ -1,0 +1,60 @@
+package clustersmt_test
+
+import (
+	"fmt"
+	"log"
+
+	"clustersmt"
+)
+
+// ExampleSimulate runs one of the paper's applications on the
+// recommended clustered-SMT design point.
+func ExampleSimulate() {
+	res, err := clustersmt.Simulate(clustersmt.LowEnd(clustersmt.SMT2), "vpenta", clustersmt.SizeTest)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res.Committed, "instructions in", res.Cycles, "cycles")
+	// Output: 6741 instructions in 1284 cycles
+}
+
+// ExampleModelOf evaluates the §2 analytical model for an application
+// point.
+func ExampleModelOf() {
+	proc := clustersmt.ModelOf(clustersmt.SMT2)
+	app := clustersmt.ModelPoint{Threads: 5, ILP: 1.6}
+	fmt.Printf("delivered %.1f slots/cycle, region %v\n", proc.Delivered(app), proc.Classify(app))
+	// Output: delivered 8.0 slots/cycle, region optimal
+}
+
+// ExampleNewProgram authors and runs a tiny custom program.
+func ExampleNewProgram() {
+	b := clustersmt.NewProgram("triple")
+	b.GlobalWords("nthreads", []uint64{1})
+	out := b.Global("out", 1)
+	b.Li(1, 14)
+	b.Li(2, 3)
+	b.Mul(3, 1, 2)
+	b.St(3, 0, out)
+	b.Halt()
+	p := b.MustBuild()
+
+	ref, err := clustersmt.RunFunctional(p, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("out =", ref.ReadWord(p, "out", 0))
+	// Output: out = 42
+}
+
+// ExampleSynthetic places a generated workload on the (threads × ILP)
+// plane and simulates it.
+func ExampleSynthetic() {
+	w := clustersmt.Synthetic(clustersmt.SyntheticSpec{ParCap: 2, ChainLen: 4, Iters: 256})
+	res, err := clustersmt.Simulate(clustersmt.LowEnd(clustersmt.FA8), w, clustersmt.SizeTest)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res.Committed > 0)
+	// Output: true
+}

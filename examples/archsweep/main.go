@@ -1,0 +1,40 @@
+// Archsweep reproduces one column of the paper's Figure 4: it runs a
+// single application across every Table 2 architecture on the low-end
+// machine and prints the normalized execution times, showing the
+// U-shape across the FA family and the clustered SMT2 beating its best
+// point.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"clustersmt"
+)
+
+func main() {
+	app := flag.String("app", "swim", "application to sweep")
+	flag.Parse()
+
+	archs := []clustersmt.Arch{
+		clustersmt.FA8, clustersmt.FA4, clustersmt.FA2, clustersmt.FA1,
+		clustersmt.SMT4, clustersmt.SMT2, clustersmt.SMT1,
+	}
+
+	var base int64
+	fmt.Printf("%-5s %10s %8s %7s %8s\n", "arch", "cycles", "norm", "IPC", "useful%")
+	for _, arch := range archs {
+		res, err := clustersmt.Simulate(clustersmt.LowEnd(arch), *app, clustersmt.SizeRef)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if base == 0 {
+			base = res.Cycles
+		}
+		fmt.Printf("%-5s %10d %7.0f%% %7.2f %7.1f%%\n",
+			arch.Name, res.Cycles, 100*float64(res.Cycles)/float64(base),
+			res.IPC, 100*res.Slots.Fraction(clustersmt.SlotUseful))
+	}
+	fmt.Printf("\n(%s, low-end machine, normalized to FA8; the paper's Figure 4 column)\n", *app)
+}

@@ -1,0 +1,54 @@
+// Highend simulates an application on the paper's 4-chip DASH-like
+// multiprocessor and reports the coherence behavior: access-class mix,
+// directory activity and network traffic — the machinery behind the
+// Figure 5/8 experiments.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"clustersmt"
+)
+
+func main() {
+	app := flag.String("app", "ocean", "application to run")
+	flag.Parse()
+
+	low := clustersmt.LowEnd(clustersmt.SMT2)
+	high := clustersmt.HighEnd(clustersmt.SMT2)
+
+	resLow, err := clustersmt.Simulate(low, *app, clustersmt.SizeRef)
+	if err != nil {
+		log.Fatal(err)
+	}
+	resHigh, err := clustersmt.Simulate(high, *app, clustersmt.SizeRef)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%s on SMT2:\n", *app)
+	fmt.Printf("  low-end  (1 chip,  %2d threads): %8d cycles, IPC %5.2f\n",
+		low.Threads(), resLow.Cycles, resLow.IPC)
+	fmt.Printf("  high-end (4 chips, %2d threads): %8d cycles, IPC %5.2f  (speedup %.2fx)\n",
+		high.Threads(), resHigh.Cycles, resHigh.IPC,
+		float64(resLow.Cycles)/float64(resHigh.Cycles))
+
+	fmt.Println("\nhigh-end load classes (Table 3 rows):")
+	names := []string{"L1 hit", "MSHR merge", "L2 hit", "local memory", "remote memory", "remote L2"}
+	for cls, n := range resHigh.MemStats.ByClass {
+		if n == 0 {
+			continue
+		}
+		avg := float64(resHigh.MemStats.LatencyByClass[cls]) / float64(n)
+		fmt.Printf("  %-14s %8d accesses  avg %6.1f cycles\n", names[cls], n, avg)
+	}
+	fmt.Println("\ndirectory & network:")
+	fmt.Printf("  invalidations=%d downgrades=%d writebacks=%d 3-hop-interventions=%d\n",
+		resHigh.Invalidations, resHigh.Downgrades, resHigh.Writebacks, resHigh.ThreeHops)
+	fmt.Printf("  network messages=%d\n", resHigh.NetMessages)
+	fmt.Println("\nsynchronization:")
+	fmt.Printf("  lock acquires=%d conflicts=%d barrier episodes=%d\n",
+		resHigh.LockAcquires, resHigh.LockConflicts, resHigh.BarrierWaits)
+}

@@ -1,0 +1,68 @@
+// Planesweep walks the paper's §2 (threads × ILP) plane with the
+// synthetic workload generator and shows, for each point, which
+// architecture the analytical model predicts and which one actually
+// wins in simulation — Figure 1 brought to life.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"clustersmt"
+)
+
+func main() {
+	archs := []clustersmt.Arch{clustersmt.FA8, clustersmt.FA2, clustersmt.FA1, clustersmt.SMT2}
+
+	// Points across the plane: (ParCap ~ threads, ChainLen/IndepOps ~ ILP).
+	points := []struct {
+		label string
+		spec  clustersmt.SyntheticSpec
+		model clustersmt.ModelPoint
+	}{
+		{"1 thread, high ILP", clustersmt.SyntheticSpec{ParCap: 1, IndepOps: 10, Iters: 2048}, clustersmt.ModelPoint{Threads: 1, ILP: 6}},
+		{"2 threads, mid ILP", clustersmt.SyntheticSpec{ParCap: 2, IndepOps: 4, ChainLen: 2, Iters: 2048}, clustersmt.ModelPoint{Threads: 2, ILP: 4}},
+		{"4 threads, mid ILP", clustersmt.SyntheticSpec{ParCap: 4, ChainLen: 3, IndepOps: 2, Iters: 2048}, clustersmt.ModelPoint{Threads: 4, ILP: 2.5}},
+		{"8 threads, low ILP", clustersmt.SyntheticSpec{ChainLen: 8, Iters: 2048}, clustersmt.ModelPoint{Threads: 8, ILP: 1.2}},
+	}
+
+	fmt.Printf("%-22s %10s %10s", "point", "model-best", "sim-best")
+	for _, a := range archs {
+		fmt.Printf("%8s", a.Name)
+	}
+	fmt.Println()
+
+	procs := make([]clustersmt.ModelProc, 0, len(archs))
+	for _, a := range archs {
+		procs = append(procs, clustersmt.ModelOf(a))
+	}
+
+	for _, pt := range points {
+		w := clustersmt.Synthetic(pt.spec)
+		best, bestCycles := "", int64(0)
+		cycles := make([]int64, len(archs))
+		for i, a := range archs {
+			res, err := clustersmt.Simulate(clustersmt.LowEnd(a), w, clustersmt.SizeRef)
+			if err != nil {
+				log.Fatal(err)
+			}
+			cycles[i] = res.Cycles
+			if best == "" || res.Cycles < bestCycles {
+				best, bestCycles = a.Name, res.Cycles
+			}
+		}
+		// The model's pick among the same architecture set.
+		modelBest, bestD := "", 0.0
+		for i, p := range procs {
+			if d := p.Delivered(pt.model); d > bestD {
+				modelBest, bestD = archs[i].Name, d
+			}
+		}
+		fmt.Printf("%-22s %10s %10s", pt.label, modelBest, best)
+		for _, c := range cycles {
+			fmt.Printf("%8d", c)
+		}
+		fmt.Println()
+	}
+	fmt.Println("\n(cycles per architecture; low-end machine, synthetic workloads)")
+}

@@ -1,0 +1,27 @@
+// Quickstart: simulate one application on the paper's recommended
+// design point (the SMT2 clustered multithreaded processor) and print
+// the cycle count, IPC and issue-slot breakdown.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"clustersmt"
+)
+
+func main() {
+	machine := clustersmt.LowEnd(clustersmt.SMT2)
+
+	res, err := clustersmt.Simulate(machine, "ocean", clustersmt.SizeTest)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("ocean on %s: %d cycles, %d instructions, IPC %.2f\n",
+		machine.Name, res.Cycles, res.Committed, res.IPC)
+	fmt.Println("where the issue slots went:")
+	for c := clustersmt.SlotUseful; c <= clustersmt.SlotOther; c++ {
+		fmt.Printf("  %-11s %5.1f%%\n", c, 100*res.Slots.Fraction(c))
+	}
+}

@@ -1,0 +1,370 @@
+// Package coherence implements the machine-wide shared-memory timing
+// model: every chip's hierarchy (package memsys) glued together by a
+// DASH-like bit-vector directory (Fig. 3) over the interconnect. It is
+// a latency/contention model with MSI states — protocol transients
+// (races between simultaneous misses) are resolved instantly in
+// simulator order, which is the appropriate fidelity for reproducing
+// the paper's cycle counts, not a protocol-verification artifact.
+package coherence
+
+import (
+	"fmt"
+
+	"clustersmt/internal/config"
+	"clustersmt/internal/interconnect"
+	"clustersmt/internal/memsys"
+)
+
+// AccessClass classifies where a load was satisfied (Table 3 rows).
+type AccessClass uint8
+
+// Access classes, in increasing typical latency.
+const (
+	L1Hit AccessClass = iota
+	MSHRMerge
+	L2Hit
+	LocalMem
+	RemoteMem
+	RemoteL2
+	NumAccessClasses
+)
+
+func (a AccessClass) String() string {
+	switch a {
+	case L1Hit:
+		return "L1 hit"
+	case MSHRMerge:
+		return "MSHR merge"
+	case L2Hit:
+		return "L2 hit"
+	case LocalMem:
+		return "local memory"
+	case RemoteMem:
+		return "remote memory"
+	case RemoteL2:
+		return "remote L2"
+	}
+	return fmt.Sprintf("AccessClass(%d)", uint8(a))
+}
+
+const noOwner = -1
+
+type dirEntry struct {
+	sharers uint32 // bit per chip
+	owner   int8   // chip holding Modified, or noOwner
+}
+
+// Directory is the full-map bit-vector directory. Lines are homed by
+// page interleaving across chips.
+type Directory struct {
+	nchips    int
+	pageBytes int64
+	entries   map[int64]*dirEntry
+
+	Invalidations uint64 // remote copies invalidated by exclusive fetches
+	Downgrades    uint64 // remote Modified copies demoted by read fetches
+	Writebacks    uint64 // dirty evictions returned to memory
+	ThreeHops     uint64 // dirty-remote interventions
+}
+
+// NewDirectory returns an empty directory for n chips.
+func NewDirectory(nchips int, pageBytes int64) *Directory {
+	if nchips <= 0 || nchips > 32 {
+		panic(fmt.Sprintf("coherence: unsupported chip count %d", nchips))
+	}
+	return &Directory{nchips: nchips, pageBytes: pageBytes, entries: make(map[int64]*dirEntry)}
+}
+
+// Home returns the home chip of a line (page-interleaved, Fig. 3: each
+// node owns a portion of global memory and its directory slice).
+func (d *Directory) Home(line int64) int {
+	return int((line / d.pageBytes) % int64(d.nchips))
+}
+
+func (d *Directory) entry(line int64) *dirEntry {
+	e := d.entries[line]
+	if e == nil {
+		e = &dirEntry{owner: noOwner}
+		d.entries[line] = e
+	}
+	return e
+}
+
+// DropSharer records that chip no longer caches line (eviction). If the
+// chip owned the line dirty, the eviction is a writeback.
+func (d *Directory) DropSharer(chip int, line int64) {
+	e := d.entries[line]
+	if e == nil {
+		return
+	}
+	e.sharers &^= 1 << uint(chip)
+	if int(e.owner) == chip {
+		e.owner = noOwner
+		d.Writebacks++
+	}
+	if e.sharers == 0 && e.owner == noOwner {
+		delete(d.entries, line)
+	}
+}
+
+// Sharers returns the sharer set and owner of a line (testing aid).
+func (d *Directory) Sharers(line int64) (mask uint32, owner int) {
+	e := d.entries[line]
+	if e == nil {
+		return 0, noOwner
+	}
+	return e.sharers, int(e.owner)
+}
+
+// Lines returns the number of tracked lines (testing aid).
+func (d *Directory) Lines() int { return len(d.entries) }
+
+// Stats aggregates machine-wide memory statistics.
+type Stats struct {
+	Loads       uint64
+	Stores      uint64
+	LoadRetries uint64 // loads refused because the MSHR file was full
+	ByClass     [NumAccessClasses]uint64
+	// LatencyByClass accumulates (ready - request) cycles per class,
+	// so LatencyByClass[c]/ByClass[c] is the observed average latency
+	// including all queuing effects.
+	LatencyByClass [NumAccessClasses]uint64
+	StoreHits      uint64 // stores finding the line already Modified
+	StoreUpgrade   uint64 // stores upgrading Shared -> Modified
+	StoreMisses    uint64 // stores fetching the line exclusively
+	TLBMisses      uint64
+}
+
+// System is the machine-wide memory model the pipeline talks to.
+type System struct {
+	Cfg   config.MemConfig
+	Chips []*memsys.Chip
+	Dir   *Directory
+	Net   *interconnect.Network
+	Stats Stats
+}
+
+// NewSystem builds the memory system for nchips identical chips.
+func NewSystem(nchips int, cfg config.MemConfig) *System {
+	chips := make([]*memsys.Chip, nchips)
+	for i := range chips {
+		chips[i] = memsys.NewChip(i, cfg)
+	}
+	return &System{
+		Cfg:   cfg,
+		Chips: chips,
+		Dir:   NewDirectory(nchips, int64(cfg.PageBytes)),
+		Net:   interconnect.New(nchips, cfg.NetOccupancy),
+	}
+}
+
+func (s *System) lineBytes() int64 { return int64(s.Cfg.LineBytes) }
+
+// translate applies the TLB; it returns the earliest cycle the access
+// can proceed (after any miss penalty).
+func (s *System) translate(now int64, c *memsys.Chip, addr int64) int64 {
+	if !c.TLB.Access(c.Page(addr)) {
+		c.TLBMissStalls++
+		s.Stats.TLBMisses++
+		return now + int64(s.Cfg.TLBMissPenalty)
+	}
+	return now
+}
+
+// Load times a load by chip to addr issued at cycle now. It returns the
+// cycle the data is available and the access class. ok=false means the
+// MSHR file was full and the load must retry on a later cycle (no state
+// was disturbed).
+func (s *System) Load(now int64, chip int, addr int64) (ready int64, cls AccessClass, ok bool) {
+	c := s.Chips[chip]
+	line := c.Line(addr)
+
+	// Refuse early (before disturbing banks/stats) if this would need a
+	// new MSHR and none is free.
+	if c.L1.Probe(line) == memsys.Invalid {
+		if _, merging := c.MSHR.Pending(now, line); !merging && c.MSHR.Free(now) == 0 {
+			s.Stats.LoadRetries++
+			return 0, 0, false
+		}
+	}
+
+	s.Stats.Loads++
+	t := s.translate(now, c, addr)
+
+	// Merge with an in-flight fill for the same line.
+	if fill, merging := c.MSHR.Pending(t, line); merging {
+		ready = maxi64(fill, t+int64(s.Cfg.L1Latency))
+		s.Stats.ByClass[MSHRMerge]++
+		s.Stats.LatencyByClass[MSHRMerge] += uint64(ready - now)
+		return ready, MSHRMerge, true
+	}
+
+	start := c.L1Banks.Acquire(t, line, s.lineBytes())
+	if st := c.L1.Lookup(line); st != memsys.Invalid {
+		ready = start + int64(s.Cfg.L1Latency)
+		s.Stats.ByClass[L1Hit]++
+		s.Stats.LatencyByClass[L1Hit] += uint64(ready - now)
+		return ready, L1Hit, true
+	}
+
+	// L1 miss: L2 access.
+	s2 := c.L2Banks.Acquire(start+int64(s.Cfg.L1Latency), line, s.lineBytes())
+	if st := c.L2.Lookup(line); st != memsys.Invalid {
+		ready = s2 + int64(s.Cfg.L2Latency)
+		c.L1.Insert(line, st)
+		c.L1Banks.Extend(line, s.lineBytes(), s.Cfg.FillTime)
+		mustAlloc(c.MSHR, s2, line, ready)
+		s.Stats.ByClass[L2Hit]++
+		s.Stats.LatencyByClass[L2Hit] += uint64(ready - now)
+		return ready, L2Hit, true
+	}
+
+	// L2 miss: directory fetch, shared.
+	ready, cls = s.fetch(chip, line, s2, false)
+	s.install(chip, line, memsys.Shared)
+	mustAlloc(c.MSHR, s2, line, ready)
+	s.Stats.ByClass[cls]++
+	s.Stats.LatencyByClass[cls] += uint64(ready - now)
+	return ready, cls, true
+}
+
+// Store times a store performed at commit. Stores are non-blocking for
+// the pipeline (an unbounded store buffer is assumed, documented in
+// DESIGN.md); their cost shows up through bank/port occupancy and
+// through lines they steal from other chips.
+func (s *System) Store(now int64, chip int, addr int64) {
+	c := s.Chips[chip]
+	line := c.Line(addr)
+	s.Stats.Stores++
+	t := s.translate(now, c, addr)
+	start := c.L1Banks.Acquire(t, line, s.lineBytes())
+
+	switch c.L1.Lookup(line) {
+	case memsys.Modified:
+		s.Stats.StoreHits++
+		return
+	case memsys.Shared:
+		s.upgrade(chip, line, start)
+		c.MarkModified(line)
+		s.Stats.StoreUpgrade++
+		return
+	}
+
+	// L1 miss: try L2.
+	s2 := c.L2Banks.Acquire(start+int64(s.Cfg.L1Latency), line, s.lineBytes())
+	switch c.L2.Lookup(line) {
+	case memsys.Modified:
+		c.MarkModified(line) // refills L1
+		s.Stats.StoreHits++
+		return
+	case memsys.Shared:
+		s.upgrade(chip, line, s2)
+		c.MarkModified(line)
+		s.Stats.StoreUpgrade++
+		return
+	}
+
+	// Full miss: fetch exclusive.
+	s.fetch(chip, line, s2, true)
+	s.install(chip, line, memsys.Modified)
+	s.Stats.StoreMisses++
+}
+
+// install places a filled line on chip, handling inclusion victims and
+// charging fill occupancy on both levels' banks.
+func (s *System) install(chip int, line int64, st memsys.LineState) {
+	c := s.Chips[chip]
+	res := c.Install(line, st)
+	if res.L2Victim.Evicted {
+		s.Dir.DropSharer(chip, res.L2Victim.Line)
+	}
+	c.L1Banks.Extend(line, s.lineBytes(), s.Cfg.FillTime)
+	c.L2Banks.Extend(line, s.lineBytes(), s.Cfg.FillTime)
+}
+
+// upgrade invalidates every other sharer of a line the chip already
+// holds Shared, making the chip the owner.
+func (s *System) upgrade(chip int, line int64, now int64) {
+	h := s.Dir.Home(line)
+	e := s.Dir.entry(line)
+	t := s.Net.Transact(now, chip, h)
+	for other := 0; other < len(s.Chips); other++ {
+		if other == chip || e.sharers&(1<<uint(other)) == 0 {
+			continue
+		}
+		s.Net.Transact(t, h, other)
+		s.Chips[other].Invalidate(line)
+		s.Dir.Invalidations++
+	}
+	e.sharers = 1 << uint(chip)
+	e.owner = int8(chip)
+}
+
+// fetch resolves an L2 miss through the directory, returning the data-
+// ready cycle and the Table 3 access class.
+func (s *System) fetch(chip int, line int64, now int64, exclusive bool) (int64, AccessClass) {
+	h := s.Dir.Home(line)
+	e := s.Dir.entry(line)
+	start := s.Net.Transact(now, chip, h)
+
+	if e.owner != noOwner && int(e.owner) != chip {
+		// Dirty in another chip's hierarchy: 3-hop intervention,
+		// Table 3 "remote L2" round trip.
+		o := int(e.owner)
+		start = s.Net.Transact(start, h, o)
+		ready := start + int64(s.Cfg.RemoteL2Lat)
+		s.Dir.ThreeHops++
+		if exclusive {
+			s.Chips[o].Invalidate(line)
+			s.Dir.Invalidations++
+			e.sharers = 1 << uint(chip)
+			e.owner = int8(chip)
+		} else {
+			s.Chips[o].Downgrade(line)
+			s.Dir.Downgrades++
+			e.sharers |= 1<<uint(chip) | 1<<uint(o)
+			e.owner = noOwner
+		}
+		return ready, RemoteL2
+	}
+
+	// Clean at home (possibly shared elsewhere).
+	if exclusive {
+		for other := 0; other < len(s.Chips); other++ {
+			if other == chip || e.sharers&(1<<uint(other)) == 0 {
+				continue
+			}
+			s.Net.Transact(start, h, other)
+			s.Chips[other].Invalidate(line)
+			s.Dir.Invalidations++
+		}
+		e.sharers = 1 << uint(chip)
+		e.owner = int8(chip)
+	} else {
+		e.sharers |= 1 << uint(chip)
+		e.owner = noOwner
+	}
+	if h == chip {
+		return start + int64(s.Cfg.LocalMemLatency), LocalMem
+	}
+	return start + int64(s.Cfg.RemoteMemLat), RemoteMem
+}
+
+// CanAcceptLoad reports whether chip could start a new load miss at
+// cycle now (issue gating for the pipeline's memory-hazard accounting).
+func (s *System) CanAcceptLoad(now int64, chip int) bool {
+	return s.Chips[chip].MSHR.Free(now) > 0
+}
+
+func mustAlloc(m *memsys.MSHRFile, now, line, ready int64) {
+	if !m.TryAlloc(now, line, ready) {
+		panic("coherence: MSHR allocation failed after availability check")
+	}
+}
+
+func maxi64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,547 @@
+package core
+
+import (
+	"clustersmt/internal/config"
+	"clustersmt/internal/interp"
+	"clustersmt/internal/isa"
+	"clustersmt/internal/parallel"
+	"clustersmt/internal/stats"
+)
+
+// blockReason says why a thread's front end is stalled.
+type blockReason uint8
+
+const (
+	blockNone    blockReason = iota
+	blockBranch              // mispredicted branch in flight; resume at resolve
+	blockLock                // spinning on a held lock
+	blockBarrier             // parked at a barrier
+)
+
+// threadCtx is one hardware context: a functional thread plus its
+// front-end state and in-flight bookkeeping.
+type threadCtx struct {
+	id      int
+	chip    int
+	cluster *cluster
+	fn      *interp.Thread
+	// sync is the thread's synchronization controller (shared by all
+	// threads of one parallel program; private per multiprogrammed job).
+	sync *parallel.Sync
+	// memBase offsets the thread's addresses in the physical memory
+	// system (0 for a shared-address-space program; per-job stride for
+	// multiprogramming).
+	memBase int64
+
+	block         blockReason
+	pendingBranch *entry // mispredicted branch being waited on
+	lockGranted   bool   // TryLock succeeded while blocked; consume at fetch
+	barArrived    bool
+	barTarget     uint64
+
+	lastWriterInt [isa.NumIntRegs]*entry
+	lastWriterFP  [isa.NumFPRegs]*entry
+
+	fifo     []*entry // program order, for in-order commit
+	fifoHead int
+	inWindow int
+
+	fetched   uint64
+	committed uint64
+}
+
+// done reports whether the thread has halted and drained.
+func (t *threadCtx) done() bool { return t.fn.Halted && t.inWindow == 0 }
+
+func (t *threadCtx) fifoLen() int { return len(t.fifo) - t.fifoHead }
+
+func (t *threadCtx) fifoFront() *entry { return t.fifo[t.fifoHead] }
+
+func (t *threadCtx) fifoPop() {
+	t.fifo[t.fifoHead] = nil
+	t.fifoHead++
+	if t.fifoHead >= 128 && t.fifoHead*2 >= len(t.fifo) {
+		n := copy(t.fifo, t.fifo[t.fifoHead:])
+		for i := n; i < len(t.fifo); i++ {
+			t.fifo[i] = nil
+		}
+		t.fifo = t.fifo[:n]
+		t.fifoHead = 0
+	}
+}
+
+// cluster is one SMT core: the unit of resource partitioning. Nothing
+// in a cluster is visible to any other cluster (§3.3).
+type cluster struct {
+	chip int
+	idx  int
+	cfg  config.Arch
+
+	threads []*threadCtx
+	window  []*entry // reorder buffer: dispatch -> commit
+	iqCount int      // instruction-queue occupancy: dispatch -> issue
+	seq     uint64
+
+	renameIntFree int
+	renameFPFree  int
+
+	// nextFree[i] is the cycle unit i of the class becomes available.
+	intUnits  []int64
+	ldstUnits []int64
+	fpUnits   []int64
+
+	bp  *BranchPredictor
+	btb *BTB
+
+	// icount selects the ICOUNT fetch policy (fewest in-flight
+	// instructions first) instead of pure round-robin — the Tullsen
+	// alternative §5.2 mentions for the centralized SMT's fetch
+	// bottleneck. Off by default.
+	icount bool
+
+	fetchRR  int
+	commitRR int
+
+	// Per-run counters.
+	slots            stats.Slots
+	renameStalls     uint64
+	fetchGroups      uint64
+	windowFullStalls uint64
+}
+
+func newCluster(chip, idx int, cfg config.Arch) *cluster {
+	return &cluster{
+		chip:          chip,
+		idx:           idx,
+		cfg:           cfg,
+		renameIntFree: cfg.RenameInt,
+		renameFPFree:  cfg.RenameFP,
+		intUnits:      make([]int64, cfg.IntUnits),
+		ldstUnits:     make([]int64, cfg.LdStUnits),
+		fpUnits:       make([]int64, cfg.FPUnits),
+		bp:            NewBranchPredictor(cfg.PredictorSize()),
+		btb:           NewBTB(cfg.BTBSize()),
+	}
+}
+
+func (c *cluster) units(class isa.Class) []int64 {
+	switch class {
+	case isa.ClassLoad, isa.ClassStore:
+		return c.ldstUnits
+	case isa.ClassFP:
+		return c.fpUnits
+	default:
+		return c.intUnits
+	}
+}
+
+// freeUnit returns the index of an available unit of the class at cycle
+// now, or -1.
+func (c *cluster) freeUnit(class isa.Class, now int64) int {
+	us := c.units(class)
+	for i, free := range us {
+		if free <= now {
+			return i
+		}
+	}
+	return -1
+}
+
+// ---- commit ----
+
+// commit retires up to IssueWidth completed instructions across the
+// cluster's threads, each thread strictly in order (§3.2: "instructions
+// are committed on a per-thread basis").
+func (c *cluster) commit(s *Simulator, now int64) {
+	budget := c.cfg.IssueWidth
+	removed := false
+	n := len(c.threads)
+	for i := 0; i < n && budget > 0; i++ {
+		t := c.threads[(c.commitRR+i)%n]
+		for budget > 0 && t.fifoLen() > 0 && t.fifoFront().done(now) {
+			e := t.fifoFront()
+			t.fifoPop()
+			if e.isStore {
+				s.msys.Store(now, c.chip, e.d.Addr+e.thread.memBase)
+			}
+			if e.usesIntRename {
+				c.renameIntFree++
+			}
+			if e.usesFPRename {
+				c.renameFPFree++
+			}
+			e.committed = true
+			t.inWindow--
+			t.committed++
+			s.committed++
+			s.traceEvent(now, c, "C", e)
+			budget--
+			removed = true
+		}
+	}
+	c.commitRR++
+	if removed {
+		w := c.window[:0]
+		for _, e := range c.window {
+			if !e.committed {
+				w = append(w, e)
+			}
+		}
+		for i := len(w); i < len(c.window); i++ {
+			c.window[i] = nil
+		}
+		c.window = w
+	}
+}
+
+// ---- issue ----
+
+// issue selects up to IssueWidth ready instructions, oldest first, and
+// starts them on functional units. Unissuable instructions vote for
+// their hazard class (§4.1).
+func (c *cluster) issue(s *Simulator, now int64, votes *stats.Votes) int {
+	issued := 0
+	for _, e := range c.window {
+		if issued >= c.cfg.IssueWidth {
+			break
+		}
+		if e.state != stateDispatched || now < e.eligibleAt {
+			continue
+		}
+		ready, memWait := e.sourcesReady(now)
+		if !ready {
+			if memWait {
+				votes[stats.Memory]++
+			} else {
+				votes[stats.Data]++
+			}
+			continue
+		}
+		class := e.fuClass()
+		unit := c.freeUnit(class, now)
+		if unit < 0 {
+			votes[stats.Structural]++
+			continue
+		}
+
+		var completeAt int64
+		inf := e.d.Instr.Info()
+		switch {
+		case e.isLoad:
+			if st := c.forwardingStore(e); st != nil {
+				if !st.done(now) {
+					// Store-to-load dependence through memory whose
+					// producer has not generated its value yet.
+					votes[stats.Data]++
+					continue
+				}
+				e.forwarded = true
+				completeAt = now + int64(inf.Latency)
+				s.forwardedLoads++
+			} else {
+				dataReady, cls, ok := s.msys.Load(now, c.chip, e.d.Addr+e.thread.memBase)
+				if !ok {
+					// MSHR file full: retry next cycle.
+					votes[stats.Memory]++
+					continue
+				}
+				e.memClass = cls
+				// Table 1 charges loads 2 cycles on an L1 hit: address
+				// generation plus the 1-cycle L1 round trip returned by
+				// the memory system.
+				completeAt = dataReady + 1
+			}
+		case e.isStore:
+			// Address generation only; the access itself happens at
+			// commit and never blocks the pipeline.
+			completeAt = now + int64(inf.Latency)
+		default:
+			lat := int64(inf.Latency)
+			if lat <= 0 {
+				lat = 1
+			}
+			completeAt = now + lat
+		}
+
+		occupancy := int64(1)
+		if !inf.Pipel {
+			occupancy = int64(inf.Latency)
+		}
+		c.units(class)[unit] = now + occupancy
+
+		e.state = stateIssued
+		e.completeAt = completeAt
+		c.iqCount--
+		s.traceEvent(now, c, "I", e)
+		issued++
+	}
+	return issued
+}
+
+// forwardingStore returns the youngest older same-thread, same-address
+// store still in the window, or nil ("full load bypassing" with exact
+// disambiguation, §3.1 — addresses are known at fetch).
+func (c *cluster) forwardingStore(load *entry) *entry {
+	t := load.thread
+	for i := len(t.fifo) - 1; i >= t.fifoHead; i-- {
+		e := t.fifo[i]
+		if e.seq >= load.seq {
+			continue
+		}
+		if e.isStore && e.d.Addr == load.d.Addr {
+			return e
+		}
+	}
+	return nil
+}
+
+// ---- fetch ----
+
+// unblock re-evaluates every blocked thread at the start of the fetch
+// stage: branch redirects resolve when the branch completes; lock
+// spinners retry acquisition (grant order follows deterministic
+// simulator polling order); barrier waiters check the generation.
+func (c *cluster) unblock(s *Simulator, now int64) {
+	for _, t := range c.threads {
+		switch t.block {
+		case blockBranch:
+			if t.pendingBranch.done(now) {
+				t.block = blockNone
+				t.pendingBranch = nil
+			}
+		case blockLock:
+			if !t.lockGranted && t.sync.TryLock(t.fn.Peek().Imm, t.id) {
+				t.lockGranted = true
+			}
+			if t.lockGranted {
+				t.block = blockNone
+			}
+		case blockBarrier:
+			if t.sync.Released(t.fn.Peek().Imm, t.barTarget) {
+				t.block = blockNone
+			}
+		}
+	}
+}
+
+// fetch selects a thread round-robin (§3.2) and pulls up to IssueWidth
+// instructions from its functional context into the window, stopping at
+// taken branches, mispredictions, blocking sync, halts, or resource
+// exhaustion. Slots the first thread leaves unused are offered to one
+// more thread (the fetch-partitioning alternative of [Tullsen et al.]
+// that §5.2 cites), which keeps many-context clusters from starving
+// chain-bound threads.
+func (c *cluster) fetch(s *Simulator, now int64, votes *stats.Votes) {
+	budget := c.cfg.IssueWidth
+	for picks := 0; picks < 2 && budget > 0; picks++ {
+		t := c.pickFetchThread()
+		if t == nil {
+			return
+		}
+		budget = c.fetchFrom(s, t, now, budget, votes)
+	}
+}
+
+// fetchFrom pulls up to budget instructions from t, returning the
+// unused budget.
+func (c *cluster) fetchFrom(s *Simulator, t *threadCtx, now int64, budget int, votes *stats.Votes) int {
+	c.fetchGroups++
+
+	width := budget
+	for n := 0; n < width; n++ {
+		if t.fn.Halted {
+			break
+		}
+		// Table 2 sizes the instruction queue and the reorder buffer
+		// separately (equal sizes): issued instructions leave the
+		// queue, so long-latency loads in flight do not clog it.
+		if len(c.window) >= c.cfg.WindowEntries || c.iqCount >= c.cfg.WindowEntries {
+			c.windowFullStalls++
+			break
+		}
+		in := t.fn.Peek()
+		inf := in.Info()
+
+		// Synchronization is resolved at the front end; the paper's
+		// spin-wait slots surface as the thread voting "sync" while
+		// blocked here.
+		switch in.Op {
+		case isa.OpLock:
+			if t.lockGranted {
+				t.lockGranted = false
+			} else if !t.sync.TryLock(in.Imm, t.id) {
+				t.block = blockLock
+				return 0 // fetch redirect consumes the cycle
+			}
+		case isa.OpUnlock:
+			t.sync.Unlock(in.Imm, t.id)
+		case isa.OpBarrier:
+			if !t.barArrived {
+				t.barTarget = t.sync.Arrive(in.Imm)
+				t.barArrived = true
+			}
+			if !t.sync.Released(in.Imm, t.barTarget) {
+				t.block = blockBarrier
+				return 0 // fetch redirect consumes the cycle
+			}
+			t.barArrived = false
+		}
+
+		// Rename: one register from the matching pool per destination.
+		needInt := inf.WritesRD && in.RD != isa.RegZero
+		needFP := inf.WritesFD
+		if (needInt && c.renameIntFree == 0) || (needFP && c.renameFPFree == 0) {
+			c.renameStalls++
+			votes[stats.Other]++
+			return 0
+		}
+
+		d := t.fn.Step()
+		e := &entry{
+			d:          d,
+			thread:     t,
+			seq:        c.seq,
+			fetchedAt:  now,
+			eligibleAt: now + config.FrontEndDelay,
+			isLoad:     inf.Class == isa.ClassLoad,
+			isStore:    inf.Class == isa.ClassStore,
+			isBranch:   inf.Branch,
+		}
+		c.seq++
+
+		// Wire register dependences to in-flight producers.
+		np := 0
+		addProducer := func(p *entry) {
+			if p == nil || np >= len(e.producers) {
+				return
+			}
+			e.producers[np] = p
+			np++
+		}
+		if inf.ReadsRS1 && in.RS1 != isa.RegZero {
+			addProducer(t.lastWriterInt[in.RS1])
+		}
+		if inf.ReadsRS2 && in.RS2 != isa.RegZero {
+			addProducer(t.lastWriterInt[in.RS2])
+		}
+		if inf.ReadsFS1 {
+			addProducer(t.lastWriterFP[in.FS1])
+		}
+		if inf.ReadsFS2 {
+			addProducer(t.lastWriterFP[in.FS2])
+		}
+		if needInt {
+			c.renameIntFree--
+			e.usesIntRename = true
+			t.lastWriterInt[in.RD] = e
+		}
+		if needFP {
+			c.renameFPFree--
+			e.usesFPRename = true
+			t.lastWriterFP[in.FD] = e
+		}
+
+		c.window = append(c.window, e)
+		c.iqCount++
+		t.fifo = append(t.fifo, e)
+		t.inWindow++
+		t.fetched++
+		s.traceEvent(now, c, "F", e)
+
+		if inf.Branch {
+			if c.handleBranch(t, e, d) {
+				return 0 // mispredicted: fetch blocked until resolve
+			}
+			if d.Taken {
+				// The taken branch ends this thread's group; leftover
+				// slots may go to the next thread.
+				return budget - (n + 1)
+			}
+		}
+	}
+	fetched := width
+	if len(c.window) >= c.cfg.WindowEntries || c.iqCount >= c.cfg.WindowEntries || t.fn.Halted {
+		// Window-full and halt paths may have consumed fewer slots,
+		// but a full window ends the cycle's fetching entirely.
+		return 0
+	}
+	return budget - fetched
+}
+
+// handleBranch trains the predictors and, on a misprediction, blocks
+// the thread's fetch until the branch resolves. It returns true when
+// fetch must stop because of a misprediction.
+func (c *cluster) handleBranch(t *threadCtx, e *entry, d interp.DynInstr) bool {
+	switch {
+	case d.Instr.Info().CondBr:
+		_, correct := c.bp.PredictAndUpdate(d.PC, d.Taken)
+		if !correct {
+			e.mispredicted = true
+		}
+	case d.Instr.Op == isa.OpJr:
+		_, correct := c.btb.PredictAndUpdate(d.PC, d.Target)
+		if !correct {
+			e.mispredicted = true
+		}
+	default:
+		// Direct jumps (jump/jal) have statically known targets: no
+		// misprediction, just a fetch break handled by the caller.
+	}
+	if e.mispredicted {
+		t.block = blockBranch
+		t.pendingBranch = e
+		return true
+	}
+	return false
+}
+
+// pickFetchThread returns the next fetchable thread — round-robin by
+// default, or the thread with the fewest in-flight instructions under
+// the ICOUNT policy (round-robin breaks ties) — or nil when no thread
+// can fetch this cycle.
+func (c *cluster) pickFetchThread() *threadCtx {
+	n := len(c.threads)
+	if c.icount {
+		var best *threadCtx
+		bestIdx := 0
+		for i := 0; i < n; i++ {
+			t := c.threads[(c.fetchRR+i)%n]
+			if t.fn.Halted || t.block != blockNone {
+				continue
+			}
+			if best == nil || t.inWindow < best.inWindow {
+				best, bestIdx = t, i
+			}
+		}
+		if best != nil {
+			c.fetchRR = (c.fetchRR + bestIdx + 1) % n
+		}
+		return best
+	}
+	for i := 0; i < n; i++ {
+		t := c.threads[(c.fetchRR+i)%n]
+		if t.fn.Halted || t.block != blockNone {
+			continue
+		}
+		c.fetchRR = (c.fetchRR + i + 1) % n
+		return t
+	}
+	return nil
+}
+
+// threadVotes adds the per-thread front-end hazard votes for this cycle
+// (§4.1: sync, control and fetch classes).
+func (c *cluster) threadVotes(votes *stats.Votes) {
+	for _, t := range c.threads {
+		switch {
+		case t.done():
+			// Finished threads contribute nothing.
+		case t.block == blockLock || t.block == blockBarrier:
+			votes[stats.Sync]++
+		case t.block == blockBranch:
+			votes[stats.Control]++
+		case t.inWindow == 0:
+			votes[stats.Fetch]++
+		}
+	}
+}

@@ -1,0 +1,83 @@
+package core
+
+import (
+	"clustersmt/internal/coherence"
+	"clustersmt/internal/interp"
+	"clustersmt/internal/isa"
+)
+
+// entryState tracks a window entry through its life.
+type entryState uint8
+
+const (
+	stateDispatched entryState = iota // in the window, waiting to issue
+	stateIssued                       // executing on a functional unit
+	stateCompleted                    // result available, awaiting commit
+)
+
+// entry is one instruction in a cluster's unified instruction window /
+// reorder buffer (the two structures are the same size in every Table 2
+// configuration, so they are modeled as one).
+type entry struct {
+	d      interp.DynInstr
+	thread *threadCtx
+	seq    uint64 // cluster-wide age for oldest-first issue
+
+	state      entryState
+	fetchedAt  int64
+	eligibleAt int64 // fetchedAt + FrontEndDelay (decode/rename depth)
+	completeAt int64 // valid once issued
+
+	// Producers of this entry's register sources that were in flight at
+	// dispatch. nil entries were architecturally ready.
+	producers [2]*entry
+
+	isLoad, isStore bool
+	isBranch        bool
+	mispredicted    bool
+	usesIntRename   bool
+	usesFPRename    bool
+	memClass        coherence.AccessClass // loads only, set at issue
+	forwarded       bool                  // load satisfied by an older in-window store
+	committed       bool                  // retired; awaiting window compaction
+}
+
+// done reports whether the entry's result is available at cycle now.
+func (e *entry) done(now int64) bool {
+	switch e.state {
+	case stateCompleted:
+		return true
+	case stateIssued:
+		return e.completeAt <= now
+	}
+	return false
+}
+
+// sourcesReady reports whether every producer has its result by now;
+// when false, memWait tells whether the blocking producer is a load
+// (memory hazard) rather than a compute op (data hazard).
+func (e *entry) sourcesReady(now int64) (ready, memWait bool) {
+	ready = true
+	for _, p := range e.producers {
+		if p == nil {
+			continue
+		}
+		if !p.done(now) {
+			ready = false
+			if p.isLoad {
+				memWait = true
+			}
+		}
+	}
+	return ready, memWait
+}
+
+// fuClass maps the instruction to the functional-unit class it needs in
+// the pipeline. Sync and halt pseudo-ops borrow an integer unit slot.
+func (e *entry) fuClass() isa.Class {
+	c := e.d.Instr.Info().Class
+	if c == isa.ClassNone {
+		return isa.ClassInt
+	}
+	return c
+}

@@ -1,0 +1,273 @@
+package core
+
+import (
+	"fmt"
+
+	"clustersmt/internal/coherence"
+	"clustersmt/internal/config"
+	"clustersmt/internal/interp"
+	"clustersmt/internal/parallel"
+	"clustersmt/internal/prog"
+	"clustersmt/internal/stats"
+)
+
+// DefaultMaxCycles bounds runaway simulations (livelocked kernels).
+const DefaultMaxCycles = 2_000_000_000
+
+// Simulator executes one program on one machine, cycle by cycle. It is
+// strictly deterministic and single-goroutine.
+type Simulator struct {
+	Machine config.Machine
+	Program *prog.Program
+
+	mem      *interp.Memory
+	mems     []*interp.Memory
+	msys     *coherence.System
+	syncs    []*parallel.Sync
+	chips    [][]*cluster // [chip][cluster]
+	clusters []*cluster   // flattened, iteration order
+	threads  []*threadCtx
+
+	cycle     int64
+	slots     stats.Slots
+	committed uint64
+
+	forwardedLoads uint64
+	runningAccum   float64 // Σ over cycles of running-thread count
+
+	// MaxCycles aborts the run when exceeded (safety net).
+	MaxCycles int64
+
+	tr *tracer
+}
+
+// SetICountFetch switches every cluster to the ICOUNT fetch policy
+// (fewest in-flight instructions first). Must be called before Run.
+func (s *Simulator) SetICountFetch(on bool) {
+	for _, cl := range s.clusters {
+		cl.icount = on
+	}
+}
+
+// New builds a simulator for machine m running program p with exactly
+// m.Threads() application threads (§4: "we generate as many threads as
+// are required by the processor").
+func New(m config.Machine, p *prog.Program) (*Simulator, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	s := &Simulator{
+		Machine:   m,
+		Program:   p,
+		mem:       interp.NewMemory(),
+		msys:      coherence.NewSystem(m.Chips, m.Mem),
+		MaxCycles: DefaultMaxCycles,
+	}
+	s.mem.LoadImage(p)
+	s.mems = []*interp.Memory{s.mem}
+	sync := parallel.NewSync(m.Threads())
+	s.syncs = []*parallel.Sync{sync}
+
+	s.chips = make([][]*cluster, m.Chips)
+	for chip := 0; chip < m.Chips; chip++ {
+		s.chips[chip] = make([]*cluster, m.Arch.Clusters)
+		for ci := 0; ci < m.Arch.Clusters; ci++ {
+			cl := newCluster(chip, ci, m.Arch)
+			s.chips[chip][ci] = cl
+			s.clusters = append(s.clusters, cl)
+		}
+	}
+
+	// Threads are placed round-robin across chips and then round-robin
+	// across the clusters within a chip (standard SPMD placement), so
+	// consecutive thread ids land on different chips/clusters and
+	// partially-parallel applications spread their active threads over
+	// the whole machine.
+	for tid := 0; tid < m.Threads(); tid++ {
+		chip := tid % m.Chips
+		local := tid / m.Chips
+		ci := local % m.Arch.Clusters
+		cl := s.chips[chip][ci]
+		t := &threadCtx{
+			id:      tid,
+			chip:    chip,
+			cluster: cl,
+			fn:      interp.NewThread(tid, p, s.mem),
+			sync:    sync,
+		}
+		cl.threads = append(cl.threads, t)
+		s.threads = append(s.threads, t)
+	}
+	return s, nil
+}
+
+// Mem exposes the functional memory (post-run inspection in tests).
+func (s *Simulator) Mem() *interp.Memory { return s.mem }
+
+// MemSystem exposes the timing memory system (post-run inspection).
+func (s *Simulator) MemSystem() *coherence.System { return s.msys }
+
+// done reports whether every thread has halted and drained.
+func (s *Simulator) done() bool {
+	for _, t := range s.threads {
+		if !t.done() {
+			return false
+		}
+	}
+	return true
+}
+
+// step advances the machine one cycle: commit, then issue (collecting
+// hazard votes), then fetch, in classic reverse-pipeline order so a
+// result produced this cycle is consumed no earlier than the next.
+func (s *Simulator) step() {
+	now := s.cycle
+	for _, cl := range s.clusters {
+		cl.commit(s, now)
+	}
+	var votes stats.Votes
+	for _, cl := range s.clusters {
+		votes.Reset()
+		issued := cl.issue(s, now, &votes)
+		cl.unblock(s, now)
+		cl.fetch(s, now, &votes)
+		cl.threadVotes(&votes)
+		s.slots.RecordCycle(cl.cfg.IssueWidth, issued, &votes)
+		cl.slots.RecordCycle(cl.cfg.IssueWidth, issued, &votes)
+	}
+	s.slots.AdvanceCycle()
+
+	running := 0
+	for _, t := range s.threads {
+		if !t.done() && t.block != blockLock && t.block != blockBarrier {
+			running++
+		}
+	}
+	s.runningAccum += float64(running)
+	s.cycle++
+}
+
+// Run simulates to completion and returns the result.
+func (s *Simulator) Run() (*Result, error) {
+	if s.cycle != 0 {
+		return nil, fmt.Errorf("core: simulator already run")
+	}
+	for !s.done() {
+		if s.cycle >= s.MaxCycles {
+			return nil, fmt.Errorf("core: %s: exceeded %d cycles (committed %d instrs); livelock?",
+				s.Machine.Name, s.MaxCycles, s.committed)
+		}
+		s.step()
+	}
+	return s.result(), nil
+}
+
+func (s *Simulator) result() *Result {
+	r := &Result{
+		Machine:        s.Machine,
+		ProgramName:    s.Program.Name,
+		Cycles:         s.cycle,
+		Slots:          s.slots,
+		Committed:      s.committed,
+		ForwardedLoads: s.forwardedLoads,
+		MemStats:       s.msys.Stats,
+		Invalidations:  s.msys.Dir.Invalidations,
+		Downgrades:     s.msys.Dir.Downgrades,
+		Writebacks:     s.msys.Dir.Writebacks,
+		ThreeHops:      s.msys.Dir.ThreeHops,
+		NetMessages:    s.msys.Net.Messages,
+	}
+	for _, sy := range s.syncs {
+		r.LockAcquires += sy.LockAcquires
+		r.LockConflicts += sy.LockConflicts
+		r.BarrierWaits += sy.BarrierWaits
+	}
+	if s.cycle > 0 {
+		r.IPC = float64(s.committed) / float64(s.cycle)
+		r.AvgRunningThreads = s.runningAccum / float64(s.cycle)
+	}
+	for _, cl := range s.clusters {
+		r.BranchLookups += cl.bp.Lookups
+		r.BranchMispredicts += cl.bp.Mispred
+		r.BTBLookups += cl.btb.Lookups
+		r.BTBMispredicts += cl.btb.Mispred
+		r.RenameStalls += cl.renameStalls
+		r.WindowFullStalls += cl.windowFullStalls
+	}
+	r.PerThreadCommitted = make([]uint64, len(s.threads))
+	for i, t := range s.threads {
+		r.PerThreadCommitted[i] = t.committed
+	}
+	for _, cl := range s.clusters {
+		cs := cl.slots
+		cs.Cycles = s.cycle
+		r.PerCluster = append(r.PerCluster, ClusterStats{
+			Chip:    cl.chip,
+			Cluster: cl.idx,
+			Slots:   cs,
+			Threads: len(cl.threads),
+		})
+	}
+	return r
+}
+
+// Result is the outcome of one simulation.
+type Result struct {
+	Machine     config.Machine
+	ProgramName string
+
+	Cycles    int64
+	Slots     stats.Slots
+	Committed uint64
+	IPC       float64
+
+	// AvgRunningThreads is the time-average of threads neither finished
+	// nor blocked on synchronization — the paper's Figure 6 x-axis
+	// measurement on FA8.
+	AvgRunningThreads float64
+
+	PerThreadCommitted []uint64
+	// PerCluster breaks the issue-slot accounting down per cluster —
+	// the within-chip view behind the machine-wide Slots.
+	PerCluster []ClusterStats
+
+	BranchLookups     uint64
+	BranchMispredicts uint64
+	BTBLookups        uint64
+	BTBMispredicts    uint64
+	RenameStalls      uint64
+	WindowFullStalls  uint64
+	ForwardedLoads    uint64
+
+	MemStats      coherence.Stats
+	LockAcquires  uint64
+	LockConflicts uint64
+	BarrierWaits  uint64
+	Invalidations uint64
+	Downgrades    uint64
+	Writebacks    uint64
+	ThreeHops     uint64
+	NetMessages   uint64
+}
+
+// ClusterStats is one cluster's share of the issue-slot accounting.
+type ClusterStats struct {
+	Chip    int
+	Cluster int
+	Slots   stats.Slots
+	Threads int
+}
+
+// MispredictRate returns conditional-branch mispredictions per lookup.
+func (r *Result) MispredictRate() float64 {
+	if r.BranchLookups == 0 {
+		return 0
+	}
+	return float64(r.BranchMispredicts) / float64(r.BranchLookups)
+}
+
+// String summarizes the run on one line.
+func (r *Result) String() string {
+	return fmt.Sprintf("%s %s: %d cycles, %d instrs, IPC %.2f [%s]",
+		r.Machine.Name, r.ProgramName, r.Cycles, r.Committed, r.IPC, r.Slots.String())
+}

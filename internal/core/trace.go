@@ -1,0 +1,33 @@
+package core
+
+import (
+	"fmt"
+	"io"
+)
+
+// tracer records pipeline events for a cycle window. Tracing is
+// designed for debugging small programs: the output is one line per
+// event (fetch / issue / commit), ordered by cycle.
+type tracer struct {
+	w        io.Writer
+	from, to int64
+}
+
+// TraceTo directs pipeline events in cycles [from, to) to w. Pass
+// to <= 0 to trace until the end of the run. Must be called before Run.
+func (s *Simulator) TraceTo(w io.Writer, from, to int64) {
+	if to <= 0 {
+		to = 1 << 62
+	}
+	s.tr = &tracer{w: w, from: from, to: to}
+}
+
+// traceEvent emits one pipeline event if tracing covers cycle now.
+// kind is "F" (fetched), "I" (issued) or "C" (committed).
+func (s *Simulator) traceEvent(now int64, cl *cluster, kind string, e *entry) {
+	if s.tr == nil || now < s.tr.from || now >= s.tr.to {
+		return
+	}
+	fmt.Fprintf(s.tr.w, "c%-7d chip%d.cl%d %s t%-2d pc=%-5d %s\n",
+		now, cl.chip, cl.idx, kind, e.thread.id, e.d.PC, e.d.Instr.String())
+}

@@ -1,0 +1,358 @@
+// Package harness drives the paper's experiments: it runs (application
+// × architecture × machine) simulations, caches shared runs, measures
+// the Figure 6 placements, and renders the Figure 4/5/7/8 execution-
+// time breakdowns as text.
+//
+// Individual simulations are strictly deterministic and single-
+// goroutine; the harness runs independent simulations concurrently
+// across host cores.
+package harness
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+
+	"clustersmt/internal/config"
+	"clustersmt/internal/core"
+	"clustersmt/internal/model"
+	"clustersmt/internal/stats"
+	"clustersmt/internal/workloads"
+)
+
+// FAFigureArchs is the architecture set of Figures 4 and 5.
+var FAFigureArchs = []config.Arch{config.FA8, config.FA4, config.FA2, config.FA1, config.SMT2}
+
+// SMTFigureArchs is the architecture set of Figures 7 and 8.
+var SMTFigureArchs = []config.Arch{config.SMT8, config.SMT4, config.SMT2, config.SMT1}
+
+type runKey struct {
+	app      string
+	clusters int
+	issue    int
+	tpc      int
+	chips    int
+}
+
+// Suite runs and caches simulations at a fixed input size.
+type Suite struct {
+	Size workloads.Size
+	// MaxCycles bounds each simulation (0 = core default).
+	MaxCycles int64
+
+	mu    sync.Mutex
+	cache map[runKey]*core.Result
+	sem   chan struct{}
+}
+
+// NewSuite returns a Suite at the given input size, running up to
+// GOMAXPROCS simulations concurrently.
+func NewSuite(size workloads.Size) *Suite {
+	return &Suite{
+		Size:  size,
+		cache: make(map[runKey]*core.Result),
+		sem:   make(chan struct{}, runtime.GOMAXPROCS(0)),
+	}
+}
+
+func key(app string, arch config.Arch, chips int) runKey {
+	return runKey{app: app, clusters: arch.Clusters, issue: arch.IssueWidth,
+		tpc: arch.ThreadsPerCluster, chips: chips}
+}
+
+// Run simulates app on arch (low-end: 1 chip; high-end: 4 chips),
+// returning a cached result when the same physical configuration was
+// already run (FA8 and SMT8 share results by construction).
+func (s *Suite) Run(app workloads.Workload, arch config.Arch, highEnd bool) (*core.Result, error) {
+	m := config.LowEnd(arch)
+	if highEnd {
+		m = config.HighEnd(arch)
+	}
+	k := key(app.Name, arch, m.Chips)
+
+	s.mu.Lock()
+	if r, ok := s.cache[k]; ok {
+		s.mu.Unlock()
+		return r, nil
+	}
+	s.mu.Unlock()
+
+	s.sem <- struct{}{}
+	defer func() { <-s.sem }()
+
+	// Re-check: another goroutine may have completed the same run.
+	s.mu.Lock()
+	if r, ok := s.cache[k]; ok {
+		s.mu.Unlock()
+		return r, nil
+	}
+	s.mu.Unlock()
+
+	p := app.Build(m.Threads(), m.Chips, s.Size)
+	sim, err := core.New(m, p)
+	if err != nil {
+		return nil, fmt.Errorf("harness: %s on %s: %w", app.Name, m.Name, err)
+	}
+	if s.MaxCycles > 0 {
+		sim.MaxCycles = s.MaxCycles
+	}
+	r, err := sim.Run()
+	if err != nil {
+		return nil, fmt.Errorf("harness: %s on %s: %w", app.Name, m.Name, err)
+	}
+
+	s.mu.Lock()
+	s.cache[k] = r
+	s.mu.Unlock()
+	return r, nil
+}
+
+// RunMatrix runs every (app × arch) pair concurrently and returns the
+// results indexed [app][arch.Name].
+func (s *Suite) RunMatrix(apps []workloads.Workload, archs []config.Arch, highEnd bool) (map[string]map[string]*core.Result, error) {
+	type item struct {
+		app  workloads.Workload
+		arch config.Arch
+	}
+	var items []item
+	for _, a := range apps {
+		for _, ar := range archs {
+			items = append(items, item{a, ar})
+		}
+	}
+	out := make(map[string]map[string]*core.Result)
+	for _, a := range apps {
+		out[a.Name] = make(map[string]*core.Result)
+	}
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+	for _, it := range items {
+		wg.Add(1)
+		go func(it item) {
+			defer wg.Done()
+			r, err := s.Run(it.app, it.arch, highEnd)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				return
+			}
+			out[it.app.Name][it.arch.Name] = r
+		}(it)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}
+
+// Row is one bar of a figure: an (app, arch) cell.
+type Row struct {
+	App        string
+	Arch       string
+	Cycles     int64
+	Normalized float64 // execution time relative to the figure baseline
+	Breakdown  [stats.NumCategories]float64
+}
+
+// Figure is one of the paper's execution-time charts in tabular form.
+type Figure struct {
+	Title    string
+	Baseline string // arch name each app's bars are normalized to
+	Apps     []string
+	Archs    []string
+	Rows     []Row // len(Apps) × len(Archs), app-major
+}
+
+// Get returns the row for (app, arch); it panics on unknown names
+// (figures are built internally with fixed sets).
+func (f *Figure) Get(app, arch string) Row {
+	for _, r := range f.Rows {
+		if r.App == app && r.Arch == arch {
+			return r
+		}
+	}
+	panic(fmt.Sprintf("harness: figure %q has no row (%s, %s)", f.Title, app, arch))
+}
+
+// Best returns the architecture with the fewest cycles for app.
+func (f *Figure) Best(app string) string {
+	best, bestCycles := "", int64(0)
+	for _, r := range f.Rows {
+		if r.App != app {
+			continue
+		}
+		if best == "" || r.Cycles < bestCycles {
+			best, bestCycles = r.Arch, r.Cycles
+		}
+	}
+	return best
+}
+
+// BestFA returns the best fixed-assignment architecture for app
+// (excludes SMT rows).
+func (f *Figure) BestFA(app string) string {
+	best, bestCycles := "", int64(0)
+	for _, r := range f.Rows {
+		if r.App != app || !strings.HasPrefix(r.Arch, "FA") {
+			continue
+		}
+		if best == "" || r.Cycles < bestCycles {
+			best, bestCycles = r.Arch, r.Cycles
+		}
+	}
+	return best
+}
+
+// Render formats the figure the way the paper's charts read: one block
+// per application, one line per architecture with the normalized
+// execution time and the slot breakdown.
+func (f *Figure) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (execution time normalized to %s = 100)\n", f.Title, f.Baseline)
+	cats := stats.AllCategories()
+	fmt.Fprintf(&b, "%-8s %-5s %6s %9s ", "app", "arch", "norm", "cycles")
+	for _, c := range cats {
+		fmt.Fprintf(&b, "%7s", c)
+	}
+	b.WriteString("\n")
+	for _, app := range f.Apps {
+		for _, arch := range f.Archs {
+			r := f.Get(app, arch)
+			fmt.Fprintf(&b, "%-8s %-5s %6.0f %9d ", r.App, r.Arch, r.Normalized, r.Cycles)
+			for _, c := range cats {
+				fmt.Fprintf(&b, "%6.1f%%", 100*r.Breakdown[c])
+			}
+			b.WriteString("\n")
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// buildFigure assembles a Figure from a result matrix.
+func buildFigure(title string, apps []workloads.Workload, archs []config.Arch,
+	res map[string]map[string]*core.Result) *Figure {
+	f := &Figure{Title: title, Baseline: archs[0].Name}
+	for _, a := range apps {
+		f.Apps = append(f.Apps, a.Name)
+	}
+	for _, ar := range archs {
+		f.Archs = append(f.Archs, ar.Name)
+	}
+	for _, a := range apps {
+		base := res[a.Name][archs[0].Name]
+		for _, ar := range archs {
+			r := res[a.Name][ar.Name]
+			row := Row{
+				App:        a.Name,
+				Arch:       ar.Name,
+				Cycles:     r.Cycles,
+				Normalized: 100 * float64(r.Cycles) / float64(base.Cycles),
+			}
+			for c := stats.Category(0); c < stats.NumCategories; c++ {
+				row.Breakdown[c] = r.Slots.Fraction(c)
+			}
+			f.Rows = append(f.Rows, row)
+		}
+	}
+	return f
+}
+
+// Figure4 reproduces Figure 4: FA processors vs the clustered SMT2 on
+// the low-end machine.
+func (s *Suite) Figure4() (*Figure, error) {
+	apps := workloads.All()
+	res, err := s.RunMatrix(apps, FAFigureArchs, false)
+	if err != nil {
+		return nil, err
+	}
+	return buildFigure("Figure 4: FA vs clustered SMT, low-end machine", apps, FAFigureArchs, res), nil
+}
+
+// Figure5 reproduces Figure 5: the same comparison on the 4-chip
+// high-end machine.
+func (s *Suite) Figure5() (*Figure, error) {
+	apps := workloads.All()
+	res, err := s.RunMatrix(apps, FAFigureArchs, true)
+	if err != nil {
+		return nil, err
+	}
+	return buildFigure("Figure 5: FA vs clustered SMT, high-end machine", apps, FAFigureArchs, res), nil
+}
+
+// Figure7 reproduces Figure 7: clustered vs centralized SMTs, low-end.
+func (s *Suite) Figure7() (*Figure, error) {
+	apps := workloads.All()
+	res, err := s.RunMatrix(apps, SMTFigureArchs, false)
+	if err != nil {
+		return nil, err
+	}
+	return buildFigure("Figure 7: clustered vs centralized SMT, low-end machine", apps, SMTFigureArchs, res), nil
+}
+
+// Figure8 reproduces Figure 8: clustered vs centralized SMTs, high-end.
+func (s *Suite) Figure8() (*Figure, error) {
+	apps := workloads.All()
+	res, err := s.RunMatrix(apps, SMTFigureArchs, true)
+	if err != nil {
+		return nil, err
+	}
+	return buildFigure("Figure 8: clustered vs centralized SMT, high-end machine", apps, SMTFigureArchs, res), nil
+}
+
+// Placement measures each application's Figure 6 point: thread
+// parallelism as the average running threads on FA8 (the architecture
+// enabling the most thread parallelism) and per-thread ILP as the
+// useful IPC per running thread on FA1 (the architecture enabling the
+// most ILP).
+func (s *Suite) Placement(highEnd bool) (map[string]model.Point, error) {
+	apps := workloads.All()
+	res, err := s.RunMatrix(apps, []config.Arch{config.FA8, config.FA1}, highEnd)
+	if err != nil {
+		return nil, err
+	}
+	chips := 1
+	if highEnd {
+		chips = config.HighEnd(config.FA8).Chips
+	}
+	out := make(map[string]model.Point, len(apps))
+	for _, a := range apps {
+		fa8 := res[a.Name]["FA8"]
+		fa1 := res[a.Name]["FA1"]
+		ilp := fa1.IPC
+		if fa1.AvgRunningThreads > 1 {
+			ilp = fa1.IPC / fa1.AvgRunningThreads
+		}
+		out[a.Name] = model.Point{
+			// Per-chip average, so high-end points land on the same
+			// 0–8 chart as Figure 6 of the paper.
+			Threads: fa8.AvgRunningThreads / float64(chips),
+			ILP:     ilp,
+		}
+	}
+	return out, nil
+}
+
+// RenderPlacement formats a Figure 6 chart plus the measured points.
+func RenderPlacement(points map[string]model.Point, proc model.Proc) string {
+	var b strings.Builder
+	b.WriteString(model.Chart(proc, points))
+	names := make([]string, 0, len(points))
+	for n := range points {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		p := points[n]
+		fmt.Fprintf(&b, "%-8s threads=%.2f ilp=%.2f region(%s)=%s\n",
+			n, p.Threads, p.ILP, proc.Name, proc.Classify(p))
+	}
+	return b.String()
+}

@@ -1,0 +1,476 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"clustersmt/internal/config"
+	"clustersmt/internal/model"
+	"clustersmt/internal/stats"
+	"clustersmt/internal/workloads"
+)
+
+func TestSuiteCachesRuns(t *testing.T) {
+	s := NewSuite(workloads.SizeTest)
+	w, _ := workloads.ByName("vpenta")
+	r1, err := s.Run(w, config.FA8, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := s.Run(w, config.FA8, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1 != r2 {
+		t.Fatal("identical run not cached")
+	}
+	// SMT8 aliases FA8 physically: must share the cache entry.
+	r3, err := s.Run(w, config.SMT8, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r3 != r1 {
+		t.Fatal("SMT8 did not reuse the FA8 run")
+	}
+}
+
+func TestFigureAccessors(t *testing.T) {
+	s := NewSuite(workloads.SizeTest)
+	fig, err := s.Figure4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Apps) != 6 || len(fig.Archs) != 5 {
+		t.Fatalf("figure shape %dx%d", len(fig.Apps), len(fig.Archs))
+	}
+	if len(fig.Rows) != 30 {
+		t.Fatalf("rows = %d", len(fig.Rows))
+	}
+	r := fig.Get("swim", "FA8")
+	if r.Normalized != 100 {
+		t.Fatalf("baseline normalization = %v", r.Normalized)
+	}
+	if best := fig.Best("swim"); best == "" {
+		t.Fatal("no best")
+	}
+	if bf := fig.BestFA("swim"); strings.HasPrefix(bf, "SMT") {
+		t.Fatalf("bestFA returned %s", bf)
+	}
+	out := fig.Render()
+	for _, app := range fig.Apps {
+		if !strings.Contains(out, app) {
+			t.Errorf("render missing %s", app)
+		}
+	}
+}
+
+func TestFigureGetPanicsOnUnknown(t *testing.T) {
+	fig := &Figure{Title: "t"}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	fig.Get("nope", "FA8")
+}
+
+func TestPlacementShape(t *testing.T) {
+	s := NewSuite(workloads.SizeTest)
+	pts, err := s.Placement(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 6 {
+		t.Fatalf("placements = %d", len(pts))
+	}
+	for app, p := range pts {
+		if p.Threads <= 0 || p.Threads > 8.01 {
+			t.Errorf("%s: threads = %v out of range", app, p.Threads)
+		}
+		if p.ILP <= 0 || p.ILP > 8.01 {
+			t.Errorf("%s: ILP = %v out of range", app, p.ILP)
+		}
+	}
+	out := RenderPlacement(pts, model.FromArch(config.SMT2))
+	if !strings.Contains(out, "ocean") {
+		t.Fatal("placement render missing app")
+	}
+}
+
+// --- Paper-claims tests (the reproduction's acceptance criteria) ---
+//
+// These run the reference-size experiments, so they take a few seconds;
+// skipped under -short.
+
+func refSuite(t *testing.T) *Suite {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("reference-size experiment; skipped with -short")
+	}
+	return NewSuite(workloads.SizeRef)
+}
+
+// TestPaperFigure4SweetSpots asserts the low-end FA sweet spots the
+// paper reports: FA8 for vpenta and ocean, FA4 for swim and fmm, FA2
+// for tomcatv and mgrid — and that the clustered SMT2 takes the fewest
+// cycles for every application.
+func TestPaperFigure4SweetSpots(t *testing.T) {
+	fig, err := refSuite(t).Figure4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]string{
+		"vpenta": "FA8", "ocean": "FA8",
+		"swim": "FA4", "fmm": "FA4",
+		"tomcatv": "FA2", "mgrid": "FA2",
+	}
+	for app, arch := range want {
+		if got := fig.BestFA(app); got != arch {
+			t.Errorf("%s: best FA = %s, want %s (paper Fig. 4)", app, got, arch)
+		}
+		if best := fig.Best(app); best != "SMT2" {
+			t.Errorf("%s: overall best = %s, want SMT2 (paper Fig. 4)", app, best)
+		}
+	}
+}
+
+// TestPaperFigure4SMT2Advantage asserts the paper's quantitative
+// headline: on average SMT2 takes noticeably fewer cycles than the best
+// per-application FA processor (the paper measures 13%; we accept 5-25%).
+func TestPaperFigure4SMT2Advantage(t *testing.T) {
+	fig, err := refSuite(t).Figure4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for _, app := range fig.Apps {
+		bestFA := fig.Get(app, fig.BestFA(app))
+		smt2 := fig.Get(app, "SMT2")
+		sum += 1 - float64(smt2.Cycles)/float64(bestFA.Cycles)
+	}
+	avg := sum / float64(len(fig.Apps))
+	if avg < 0.05 || avg > 0.25 {
+		t.Errorf("SMT2 advantage over best FA = %.1f%%, want 5-25%% (paper: 13%%)", 100*avg)
+	}
+}
+
+// TestPaperFigure5HighEnd asserts the high-end shifts the paper
+// describes: the sweet spot moves to wide-issue FAs for the low-
+// parallelism applications (FA1 for tomcatv and mgrid), the highly
+// parallel applications keep FA8, and SMT2 again has the lowest
+// execution time everywhere.
+func TestPaperFigure5HighEnd(t *testing.T) {
+	fig, err := refSuite(t).Figure5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for app, arch := range map[string]string{"tomcatv": "FA1", "mgrid": "FA1"} {
+		if got := fig.BestFA(app); got != arch {
+			t.Errorf("%s: best FA = %s, want %s (paper Fig. 5)", app, got, arch)
+		}
+	}
+	for _, app := range []string{"vpenta", "ocean"} {
+		if got := fig.BestFA(app); got != "FA8" {
+			t.Errorf("%s: best FA = %s, want FA8 (paper Fig. 5)", app, got)
+		}
+	}
+	for _, app := range fig.Apps {
+		if best := fig.Best(app); best != "SMT2" {
+			t.Errorf("%s: overall best = %s, want SMT2 (paper Fig. 5)", app, best)
+		}
+	}
+}
+
+// TestPaperFigure7Clustering asserts the Figure 7 structure: execution
+// time improves monotonically from SMT8 through SMT4 to SMT2 for every
+// application, and SMT2 lands within the paper's 0-9% band of the fully
+// centralized SMT1 — or beats it (our kernels are chain-heavier than
+// the originals, which exposes SMT1's narrower Table 2 FU mix; see
+// EXPERIMENTS.md).
+func TestPaperFigure7Clustering(t *testing.T) {
+	fig, err := refSuite(t).Figure7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, app := range fig.Apps {
+		smt8 := fig.Get(app, "SMT8").Cycles
+		smt4 := fig.Get(app, "SMT4").Cycles
+		smt2 := fig.Get(app, "SMT2").Cycles
+		smt1 := fig.Get(app, "SMT1").Cycles
+		if smt4 > smt8 {
+			t.Errorf("%s: SMT4 (%d) worse than SMT8 (%d)", app, smt4, smt8)
+		}
+		if float64(smt2) > 1.03*float64(smt4) {
+			t.Errorf("%s: SMT2 (%d) worse than SMT4 (%d)", app, smt2, smt4)
+		}
+		// SMT2 within 10% of SMT1, or better.
+		if float64(smt2) > 1.10*float64(smt1) {
+			t.Errorf("%s: SMT2 (%d) more than 10%% behind SMT1 (%d)", app, smt2, smt1)
+		}
+	}
+}
+
+// TestPaperFigure6Placements asserts the qualitative layout of
+// Figure 6a: tomcatv leftmost; vpenta and ocean in the lower right
+// (most threads, least ILP); every application inside SMT2's optimal
+// region except possibly tomcatv.
+func TestPaperFigure6Placements(t *testing.T) {
+	pts, err := refSuite(t).Placement(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for app, p := range pts {
+		if app == "tomcatv" {
+			continue
+		}
+		if pts["tomcatv"].Threads >= p.Threads {
+			t.Errorf("tomcatv (%.2f threads) not leftmost vs %s (%.2f)",
+				pts["tomcatv"].Threads, app, p.Threads)
+		}
+	}
+	for _, app := range []string{"vpenta", "ocean"} {
+		if pts[app].Threads < 6 {
+			t.Errorf("%s: threads = %.2f, want > 6", app, pts[app].Threads)
+		}
+		if pts[app].ILP > 2 {
+			t.Errorf("%s: ILP = %.2f, want < 2", app, pts[app].ILP)
+		}
+	}
+	smt2 := model.FromArch(config.SMT2)
+	for app, p := range pts {
+		if r := smt2.Classify(p); r != model.RegionOptimal && app != "tomcatv" {
+			t.Errorf("%s: region = %v, want optimal", app, r)
+		}
+	}
+}
+
+// TestPaperFigure6HighEndShift asserts that the high-end points move
+// left and down relative to the low-end points (§5.1.1).
+func TestPaperFigure6HighEndShift(t *testing.T) {
+	s := refSuite(t)
+	low, err := s.Placement(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	high, err := s.Placement(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	movedLeft, movedDown := 0, 0
+	for app := range low {
+		if high[app].Threads < low[app].Threads+0.01 {
+			movedLeft++
+		}
+		if high[app].ILP < low[app].ILP+0.01 {
+			movedDown++
+		}
+	}
+	if movedLeft < 4 {
+		t.Errorf("only %d/6 apps moved left on the high-end machine", movedLeft)
+	}
+	if movedDown < 4 {
+		t.Errorf("only %d/6 apps moved down on the high-end machine", movedDown)
+	}
+}
+
+// TestPaperUShape asserts the Figure 4 "U-shape" the paper describes:
+// for the mid-parallelism applications, both FA8 (too narrow) and FA1
+// (too few threads) are worse than the interior sweet spot.
+func TestPaperUShape(t *testing.T) {
+	fig, err := refSuite(t).Figure4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, app := range []string{"swim", "tomcatv", "mgrid", "fmm"} {
+		best := fig.Get(app, fig.BestFA(app)).Cycles
+		fa8 := fig.Get(app, "FA8").Cycles
+		fa1 := fig.Get(app, "FA1").Cycles
+		if fa8 <= best || fa1 <= best {
+			t.Errorf("%s: no U-shape (FA8=%d best=%d FA1=%d)", app, fa8, best, fa1)
+		}
+	}
+}
+
+// TestPaperConclusionCycleTime asserts the paper's §5.2/§6 bottom line:
+// once the Palacharla/Jouppi cycle-time model is applied (4-issue
+// clusters clock ~2x an 8-issue core), the clustered SMT2 has the best
+// — or within 2% of the best — wall-clock time for every application on
+// both machines, making it the most cost-effective organization.
+func TestPaperConclusionCycleTime(t *testing.T) {
+	s := refSuite(t)
+	for _, highEnd := range []bool{false, true} {
+		c, err := s.Conclusion(highEnd)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, app := range c.Apps {
+			best := c.Get(app, c.Best(app)).AdjustedTime
+			smt2 := c.Get(app, "SMT2").AdjustedTime
+			if smt2 > 1.02*best {
+				t.Errorf("highEnd=%v %s: SMT2 adjusted time %.0f vs best %s %.0f",
+					highEnd, app, smt2, c.Best(app), best)
+			}
+		}
+	}
+}
+
+// TestAdjustClockAlgebra checks the adjustment arithmetic on a
+// synthetic figure.
+func TestAdjustClockAlgebra(t *testing.T) {
+	fig := &Figure{
+		Title:    "t",
+		Baseline: "FA8",
+		Apps:     []string{"x"},
+		Archs:    []string{"FA8", "FA2", "SMT1"},
+		Rows: []Row{
+			{App: "x", Arch: "FA8", Cycles: 1000},
+			{App: "x", Arch: "FA2", Cycles: 900},
+			{App: "x", Arch: "SMT1", Cycles: 600},
+		},
+	}
+	c := AdjustClock(fig)
+	// FA8 (1-issue clusters) and FA2 (4-issue) run at full clock;
+	// SMT1's 8-issue cluster pays 2x cycle time.
+	if got := c.Get("x", "FA2").Normalized; got != 90 {
+		t.Errorf("FA2 normalized = %v, want 90", got)
+	}
+	if got := c.Get("x", "SMT1").Normalized; got != 120 {
+		t.Errorf("SMT1 normalized = %v, want 120 (600 cycles x 2)", got)
+	}
+	if best := c.Best("x"); best != "FA2" {
+		t.Errorf("best = %s", best)
+	}
+	if c.Render() == "" {
+		t.Error("empty render")
+	}
+}
+
+func TestRenderBars(t *testing.T) {
+	s := NewSuite(workloads.SizeTest)
+	fig, err := s.Figure4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := fig.RenderBars()
+	if !strings.Contains(out, "legend:") || !strings.Contains(out, "U") {
+		t.Fatalf("bars missing content:\n%s", out)
+	}
+	for _, app := range fig.Apps {
+		if !strings.Contains(out, app) {
+			t.Errorf("bars missing %s", app)
+		}
+	}
+}
+
+func TestStackedBarExactWidth(t *testing.T) {
+	var fr [stats.NumCategories]float64
+	fr[stats.Useful] = 0.5
+	fr[stats.Sync] = 0.3
+	fr[stats.Data] = 0.2
+	for _, w := range []int{1, 7, 40, 123} {
+		bar := stackedBar(fr, w)
+		if len(bar) != w {
+			t.Errorf("width %d: bar length %d", w, len(bar))
+		}
+	}
+	if stackedBar(fr, 0) != "" {
+		t.Error("zero width should be empty")
+	}
+	var zero [stats.NumCategories]float64
+	if got := stackedBar(zero, 5); got != "     " {
+		t.Errorf("zero fractions bar = %q", got)
+	}
+}
+
+// TestPaperModelConsistency reproduces §5.1.1: the analytical model's
+// per-application best-FA prediction from the measured (threads × ILP)
+// points must agree with the simulated Figure 4 winners for most
+// applications (the paper reports full qualitative consistency; we
+// require at least 4 of 6 — the model ignores cache effects and serial
+// sections by design).
+func TestPaperModelConsistency(t *testing.T) {
+	v, err := refSuite(t).ValidateModel(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := v.Agreements(); got < 4 {
+		t.Errorf("model-vs-simulation agreement %d/6, want >= 4:\n%s", got, v.Render())
+	}
+	if v.Render() == "" {
+		t.Error("empty render")
+	}
+}
+
+func TestFigureCSV(t *testing.T) {
+	s := NewSuite(workloads.SizeTest)
+	fig, err := s.Figure7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	csv := fig.CSV()
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	if len(lines) != 1+len(fig.Rows) {
+		t.Fatalf("csv lines = %d, want %d", len(lines), 1+len(fig.Rows))
+	}
+	if !strings.HasPrefix(lines[0], "app,arch,cycles,normalized,useful") {
+		t.Fatalf("csv header = %q", lines[0])
+	}
+	for _, l := range lines[1:] {
+		if strings.Count(l, ",") != strings.Count(lines[0], ",") {
+			t.Fatalf("ragged csv row %q", l)
+		}
+	}
+}
+
+// TestConcurrentSuiteDeterminism: the suite runs simulations on
+// goroutines; results must be identical to a second, fresh suite (the
+// simulations themselves are single-goroutine and deterministic).
+func TestConcurrentSuiteDeterminism(t *testing.T) {
+	run := func() map[string]int64 {
+		s := NewSuite(workloads.SizeTest)
+		fig, err := s.Figure4()
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := map[string]int64{}
+		for _, r := range fig.Rows {
+			out[r.App+"/"+r.Arch] = r.Cycles
+		}
+		return out
+	}
+	a, b := run(), run()
+	for k, v := range a {
+		if b[k] != v {
+			t.Errorf("%s: %d vs %d across suites", k, v, b[k])
+		}
+	}
+}
+
+// TestExtendedEvaluationExtras runs the two extension kernels across
+// the Figure 4 architecture set and checks the expected structure:
+// radix (integer, fully parallel, no long chains) and lu (tapering
+// parallelism) must both run everywhere, with the clustered SMT2 at or
+// near the front.
+func TestExtendedEvaluationExtras(t *testing.T) {
+	s := NewSuite(workloads.SizeTest)
+	res, err := s.RunMatrix(workloads.Extras(), FAFigureArchs, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range workloads.Extras() {
+		best, bestCycles := "", int64(0)
+		for arch, r := range res[w.Name] {
+			if r.Committed == 0 {
+				t.Errorf("%s/%s: nothing committed", w.Name, arch)
+			}
+			if best == "" || r.Cycles < bestCycles {
+				best, bestCycles = arch, r.Cycles
+			}
+		}
+		smt2 := res[w.Name]["SMT2"].Cycles
+		if float64(smt2) > 1.15*float64(bestCycles) {
+			t.Errorf("%s: SMT2 (%d cycles) more than 15%% behind best %s (%d)",
+				w.Name, smt2, best, bestCycles)
+		}
+	}
+}

@@ -1,0 +1,85 @@
+// Package interp is the functional front end of the simulator: it
+// executes programs instruction-by-instruction over a shared memory
+// image and yields the dynamic-instruction events that the timing back
+// end consumes. It plays the role MINT played for the paper's
+// simulator: the back end never recomputes values, it only times them.
+package interp
+
+import (
+	"fmt"
+
+	"clustersmt/internal/prog"
+)
+
+const (
+	pageShift = 12 // 4 KiB pages
+	pageBytes = 1 << pageShift
+	pageWords = pageBytes / prog.WordSize
+)
+
+// Memory is a sparse, paged, word-granular shared address space. It is
+// not safe for concurrent use; the simulator is single-goroutine by
+// design (see DESIGN.md).
+type Memory struct {
+	pages map[int64]*[pageWords]uint64
+}
+
+// NewMemory returns an empty address space.
+func NewMemory() *Memory {
+	return &Memory{pages: make(map[int64]*[pageWords]uint64)}
+}
+
+// LoadImage installs a program's initial data segment.
+func (m *Memory) LoadImage(p *prog.Program) {
+	for addr, v := range p.Init {
+		m.Store(addr, v)
+	}
+}
+
+func (m *Memory) page(addr int64, create bool) *[pageWords]uint64 {
+	pn := addr >> pageShift
+	pg := m.pages[pn]
+	if pg == nil && create {
+		pg = new([pageWords]uint64)
+		m.pages[pn] = pg
+	}
+	return pg
+}
+
+func checkAligned(addr int64) {
+	if addr%prog.WordSize != 0 {
+		panic(fmt.Sprintf("interp: unaligned access at %#x", addr))
+	}
+	if addr < 0 {
+		panic(fmt.Sprintf("interp: negative address %#x", addr))
+	}
+}
+
+// Load returns the word at addr (zero if never written). Panics on
+// unaligned or negative addresses: those are always kernel bugs.
+func (m *Memory) Load(addr int64) uint64 {
+	checkAligned(addr)
+	pg := m.page(addr, false)
+	if pg == nil {
+		return 0
+	}
+	return pg[(addr%pageBytes)/prog.WordSize]
+}
+
+// Store writes the word at addr.
+func (m *Memory) Store(addr int64, v uint64) {
+	checkAligned(addr)
+	m.page(addr, true)[(addr%pageBytes)/prog.WordSize] = v
+}
+
+// Swap atomically exchanges the word at addr with v, returning the old
+// value. (Atomicity is trivial in the single-goroutine simulator; the
+// method exists so call sites document their intent.)
+func (m *Memory) Swap(addr int64, v uint64) uint64 {
+	old := m.Load(addr)
+	m.Store(addr, v)
+	return old
+}
+
+// Pages reports how many pages have been touched (diagnostics).
+func (m *Memory) Pages() int { return len(m.pages) }

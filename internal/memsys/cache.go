@@ -1,0 +1,179 @@
+// Package memsys implements the per-chip memory hierarchy mechanics of
+// §3.4/Table 3: banked set-associative L1 and L2 tag arrays with LRU
+// replacement and MSI line states, a fully associative random-
+// replacement TLB, MSHRs bounding outstanding loads, and bank-occupancy
+// contention. Cross-chip coherence lives in package coherence.
+//
+// The caches track tags and states only — data values come from the
+// functional front end — so "reading" a line means timing its access.
+package memsys
+
+import "fmt"
+
+// LineState is the MSI coherence state of a cached line.
+type LineState uint8
+
+// MSI states.
+const (
+	Invalid LineState = iota
+	Shared
+	Modified
+)
+
+func (s LineState) String() string {
+	switch s {
+	case Invalid:
+		return "I"
+	case Shared:
+		return "S"
+	case Modified:
+		return "M"
+	}
+	return fmt.Sprintf("LineState(%d)", uint8(s))
+}
+
+type way struct {
+	line  int64 // line-aligned base address; valid only if state != Invalid
+	state LineState
+	lru   uint64 // larger = more recently used
+}
+
+// Cache is a set-associative tag array. Addresses passed in must be
+// line-aligned ("line addresses").
+type Cache struct {
+	name      string
+	sets      int
+	assoc     int
+	lineBytes int64
+	ways      []way // sets*assoc, row-major by set
+	tick      uint64
+
+	// Stats.
+	Hits, Misses, Evictions, WritebackEvictions uint64
+}
+
+// NewCache builds a cache with the given geometry. sizeKB must divide
+// evenly into sets of assoc lines.
+func NewCache(name string, sizeKB, lineBytes, assoc int) *Cache {
+	lines := sizeKB * 1024 / lineBytes
+	if lines%assoc != 0 {
+		panic(fmt.Sprintf("memsys: %s: %dKB/%dB/%d-way does not form whole sets", name, sizeKB, lineBytes, assoc))
+	}
+	sets := lines / assoc
+	return &Cache{
+		name:      name,
+		sets:      sets,
+		assoc:     assoc,
+		lineBytes: int64(lineBytes),
+		ways:      make([]way, sets*assoc),
+	}
+}
+
+// Sets returns the number of sets (diagnostics).
+func (c *Cache) Sets() int { return c.sets }
+
+// LineBytes returns the line size in bytes.
+func (c *Cache) LineBytes() int64 { return c.lineBytes }
+
+// LineAddr converts a byte address to its line address.
+func (c *Cache) LineAddr(addr int64) int64 { return addr &^ (c.lineBytes - 1) }
+
+func (c *Cache) set(line int64) []way {
+	s := int((line / c.lineBytes) % int64(c.sets))
+	return c.ways[s*c.assoc : (s+1)*c.assoc]
+}
+
+// Lookup returns the state of line, counting a hit or miss, and updates
+// LRU on hit.
+func (c *Cache) Lookup(line int64) LineState {
+	c.tick++
+	set := c.set(line)
+	for i := range set {
+		w := &set[i]
+		if w.state != Invalid && w.line == line {
+			w.lru = c.tick
+			c.Hits++
+			return w.state
+		}
+	}
+	c.Misses++
+	return Invalid
+}
+
+// Probe returns the state of line without touching LRU or stats.
+func (c *Cache) Probe(line int64) LineState {
+	for i := range c.set(line) {
+		w := &c.set(line)[i]
+		if w.state != Invalid && w.line == line {
+			return w.state
+		}
+	}
+	return Invalid
+}
+
+// SetState changes the state of a resident line; it is a no-op if the
+// line is not resident. Setting Invalid invalidates.
+func (c *Cache) SetState(line int64, st LineState) {
+	for i := range c.set(line) {
+		w := &c.set(line)[i]
+		if w.state != Invalid && w.line == line {
+			if st == Invalid {
+				w.state = Invalid
+				return
+			}
+			w.state = st
+			return
+		}
+	}
+}
+
+// Victim describes a line displaced by Insert.
+type Victim struct {
+	Line    int64
+	State   LineState
+	Evicted bool
+}
+
+// Insert places line with the given state, evicting the LRU way if the
+// set is full. If the line is already resident its state is updated in
+// place (no eviction).
+func (c *Cache) Insert(line int64, st LineState) Victim {
+	c.tick++
+	set := c.set(line)
+	var free, lruIdx = -1, 0
+	for i := range set {
+		w := &set[i]
+		if w.state != Invalid && w.line == line {
+			w.state = st
+			w.lru = c.tick
+			return Victim{}
+		}
+		if w.state == Invalid {
+			free = i
+		} else if set[i].lru < set[lruIdx].lru || set[lruIdx].state == Invalid {
+			lruIdx = i
+		}
+	}
+	if free >= 0 {
+		set[free] = way{line: line, state: st, lru: c.tick}
+		return Victim{}
+	}
+	v := Victim{Line: set[lruIdx].line, State: set[lruIdx].state, Evicted: true}
+	c.Evictions++
+	if v.State == Modified {
+		c.WritebackEvictions++
+	}
+	set[lruIdx] = way{line: line, state: st, lru: c.tick}
+	return v
+}
+
+// Resident reports how many lines are currently valid (testing aid).
+func (c *Cache) Resident() int {
+	n := 0
+	for i := range c.ways {
+		if c.ways[i].state != Invalid {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,66 @@
+package memsys
+
+// MSHRFile bounds the number of outstanding load misses per chip and
+// merges secondary misses to a line already being fetched (§3.1:
+// "non-blocking with up to 32 outstanding loads").
+type MSHRFile struct {
+	cap     int
+	pending map[int64]int64 // line -> fill-complete cycle
+
+	Merges    uint64 // secondary misses piggybacked on a pending fill
+	Rejected  uint64 // allocation attempts refused because the file was full
+	Allocated uint64
+}
+
+// NewMSHRFile returns a file with the given capacity.
+func NewMSHRFile(capacity int) *MSHRFile {
+	if capacity <= 0 {
+		panic("memsys: MSHR file needs positive capacity")
+	}
+	return &MSHRFile{cap: capacity, pending: make(map[int64]int64, capacity)}
+}
+
+// sweep retires entries whose fills have completed by now.
+func (m *MSHRFile) sweep(now int64) {
+	for line, ready := range m.pending {
+		if ready <= now {
+			delete(m.pending, line)
+		}
+	}
+}
+
+// Pending returns the fill-complete cycle for line if a fetch is in
+// flight at cycle now.
+func (m *MSHRFile) Pending(now, line int64) (int64, bool) {
+	m.sweep(now)
+	ready, ok := m.pending[line]
+	if ok {
+		m.Merges++
+	}
+	return ready, ok
+}
+
+// TryAlloc reserves an entry for line completing at ready. It returns
+// false when the file is full (the load must retry a later cycle).
+func (m *MSHRFile) TryAlloc(now, line, ready int64) bool {
+	m.sweep(now)
+	if len(m.pending) >= m.cap {
+		m.Rejected++
+		return false
+	}
+	m.pending[line] = ready
+	m.Allocated++
+	return true
+}
+
+// Free returns the number of free entries at cycle now.
+func (m *MSHRFile) Free(now int64) int {
+	m.sweep(now)
+	return m.cap - len(m.pending)
+}
+
+// InFlight returns the number of outstanding fills at cycle now.
+func (m *MSHRFile) InFlight(now int64) int {
+	m.sweep(now)
+	return len(m.pending)
+}

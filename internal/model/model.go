@@ -1,0 +1,192 @@
+// Package model implements the paper's §2 model of parallelism: an
+// application is a point (threads, ILP-per-thread); an architecture is
+// a region of that plane; delivered performance is the overlap between
+// the application's rectangle and what the architecture can exploit.
+// The model reproduces Figure 1 and predicts the Figure 4/5 orderings
+// qualitatively; Figure 6 places measured applications on the chart.
+package model
+
+import (
+	"fmt"
+	"strings"
+
+	"clustersmt/internal/config"
+)
+
+// Point is an application's average operating point: Threads parallel
+// flows, each with ILP instructions per cycle of exploitable
+// instruction-level parallelism.
+type Point struct {
+	Threads float64
+	ILP     float64
+}
+
+// Demand is the application's total performance demand (the area of its
+// rectangle).
+func (p Point) Demand() float64 { return p.Threads * p.ILP }
+
+// Region classifies the relative position of application and
+// architecture (Figure 1-(d) and 1-(g)).
+type Region int
+
+// Regions from Figure 1.
+const (
+	// RegionAppLimited (1): application fully exploited, processor
+	// under-utilized — maximum performance for that application.
+	RegionAppLimited Region = 1
+	// RegionOptimal (2): processor fully utilized; the paper's target
+	// operating region.
+	RegionOptimal Region = 2
+	// RegionBothLimited (3): application under-exploited and processor
+	// under-utilized.
+	RegionBothLimited Region = 3
+)
+
+func (r Region) String() string {
+	switch r {
+	case RegionAppLimited:
+		return "app-limited"
+	case RegionOptimal:
+		return "optimal"
+	case RegionBothLimited:
+		return "both-limited"
+	}
+	return fmt.Sprintf("Region(%d)", int(r))
+}
+
+// Proc is the model's view of a chip organization: TotalIssue is the
+// chip issue bandwidth (the area under the hyperbola), MaxThreads how
+// many flows it can host, and ILPCap the per-thread ILP ceiling (the
+// cluster issue width — the horizontal line of Figure 1-(e)).
+//
+// An FA organization is the degenerate case where MaxThreads equals the
+// cluster count and the rectangle cannot slide: FixedThreads is true.
+type Proc struct {
+	Name         string
+	TotalIssue   float64
+	MaxThreads   float64
+	ILPCap       float64
+	FixedThreads bool
+}
+
+// FromArch converts a Table 2 architecture to its model description.
+// FA variants pin one thread per cluster; SMT variants slide along the
+// hyperbola up to the cluster issue width.
+func FromArch(a config.Arch) Proc {
+	total := float64(a.Clusters * a.IssueWidth)
+	if a.ThreadsPerCluster == 1 && a.Clusters > 1 || a.Name == "FA1" {
+		return Proc{
+			Name:         a.Name,
+			TotalIssue:   total,
+			MaxThreads:   float64(a.Clusters),
+			ILPCap:       float64(a.IssueWidth),
+			FixedThreads: true,
+		}
+	}
+	return Proc{
+		Name:       a.Name,
+		TotalIssue: total,
+		MaxThreads: float64(a.Clusters * a.ThreadsPerCluster),
+		ILPCap:     float64(a.IssueWidth),
+	}
+}
+
+// Delivered returns the performance (in useful issue slots per cycle)
+// the model predicts for application p on this processor.
+//
+// FA(k clusters × w issue): min(T,k) × min(I,w).
+// SMT with per-thread cap c and total issue B: min(B, min(T,Tmax) × min(I,c)).
+func (pr Proc) Delivered(p Point) float64 {
+	t := minf(p.Threads, pr.MaxThreads)
+	i := minf(p.ILP, pr.ILPCap)
+	d := t * i
+	return minf(d, pr.TotalIssue)
+}
+
+// Utilization is delivered performance over the chip's issue bandwidth.
+func (pr Proc) Utilization(p Point) float64 {
+	return pr.Delivered(p) / pr.TotalIssue
+}
+
+// Exploited reports whether the application is fully exploited (the
+// processor extracts the app's entire demand).
+func (pr Proc) Exploited(p Point) bool {
+	return pr.Delivered(p) >= p.Demand()-1e-9
+}
+
+// Classify returns the Figure 1 region for application p.
+func (pr Proc) Classify(p Point) Region {
+	full := pr.Delivered(p) >= pr.TotalIssue-1e-9
+	switch {
+	case full:
+		return RegionOptimal
+	case pr.Exploited(p):
+		return RegionAppLimited
+	default:
+		return RegionBothLimited
+	}
+}
+
+// BestOf returns the processor in procs with the highest delivered
+// performance for p (first wins ties).
+func BestOf(procs []Proc, p Point) Proc {
+	best := procs[0]
+	bestD := best.Delivered(p)
+	for _, pr := range procs[1:] {
+		if d := pr.Delivered(p); d > bestD {
+			best, bestD = pr, d
+		}
+	}
+	return best
+}
+
+func minf(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Chart renders an ASCII threads×ILP chart (Figure 1 / Figure 6 style):
+// the hyperbola T×I = issue, the ILP cap line of proc, and the given
+// labeled application points.
+func Chart(pr Proc, apps map[string]Point) string {
+	const w, h = 33, 17 // 0..8 threads, 0..8 ILP at 4 cols & 2 rows per unit
+	grid := make([][]byte, h)
+	for y := range grid {
+		grid[y] = []byte(strings.Repeat(" ", w))
+	}
+	plot := func(t, i float64, ch byte) {
+		x := int(t * 4)
+		y := h - 1 - int(i*2)
+		if x >= 0 && x < w && y >= 0 && y < h {
+			grid[y][x] = ch
+		}
+	}
+	// Hyperbola t*i = TotalIssue.
+	for x := 1; x < w; x++ {
+		t := float64(x) / 4
+		i := pr.TotalIssue / t
+		plot(t, i, '*')
+	}
+	// ILP cap line.
+	for x := 0; x < w; x++ {
+		plot(float64(x)/4, pr.ILPCap, '-')
+	}
+	for name, p := range apps {
+		plot(p.Threads, p.ILP, name[0]&^0x20) // first letter, upper case
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: issue=%g, threads<=%g, ILP cap=%g\n", pr.Name, pr.TotalIssue, pr.MaxThreads, pr.ILPCap)
+	b.WriteString("ILP\n")
+	for y := 0; y < h; y++ {
+		if (h-1-y)%2 == 0 {
+			fmt.Fprintf(&b, "%2d |%s\n", (h-1-y)/2, string(grid[y]))
+		} else {
+			fmt.Fprintf(&b, "   |%s\n", string(grid[y]))
+		}
+	}
+	b.WriteString("   +" + strings.Repeat("-", w) + "\n")
+	b.WriteString("    0   1   2   3   4   5   6   7   8  threads\n")
+	return b.String()
+}

@@ -1,0 +1,161 @@
+package model
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"clustersmt/internal/config"
+)
+
+func TestFromArchShapes(t *testing.T) {
+	fa2 := FromArch(config.FA2)
+	if !fa2.FixedThreads || fa2.MaxThreads != 2 || fa2.ILPCap != 4 || fa2.TotalIssue != 8 {
+		t.Fatalf("FA2 model = %+v", fa2)
+	}
+	smt2 := FromArch(config.SMT2)
+	if smt2.FixedThreads || smt2.MaxThreads != 8 || smt2.ILPCap != 4 {
+		t.Fatalf("SMT2 model = %+v", smt2)
+	}
+	fa1 := FromArch(config.FA1)
+	if !fa1.FixedThreads || fa1.MaxThreads != 1 || fa1.ILPCap != 8 {
+		t.Fatalf("FA1 model = %+v", fa1)
+	}
+	smt1 := FromArch(config.SMT1)
+	if smt1.FixedThreads || smt1.ILPCap != 8 || smt1.MaxThreads != 8 {
+		t.Fatalf("SMT1 model = %+v", smt1)
+	}
+}
+
+func TestDeliveredFAvsSMT(t *testing.T) {
+	// Figure 1-(c)/(f): the clustered SMT extracts more from the same
+	// app than the FA with the same cluster shape.
+	app := Point{Threads: 5, ILP: 1.6}
+	fa2 := FromArch(config.FA2)
+	smt2 := FromArch(config.SMT2)
+	dFA := fa2.Delivered(app)   // min(5,2)*min(1.6,4) = 3.2
+	dSMT := smt2.Delivered(app) // min(5*1.6, 8) = 8
+	if dFA != 2*1.6 {
+		t.Fatalf("FA2 delivered = %v", dFA)
+	}
+	if dSMT != 8 {
+		t.Fatalf("SMT2 delivered = %v", dSMT)
+	}
+	if dSMT <= dFA {
+		t.Fatal("SMT must beat FA here")
+	}
+}
+
+func TestSMTILPCapBites(t *testing.T) {
+	// One thread with ILP 6: SMT2 caps at 4, SMT1 exploits 6.
+	app := Point{Threads: 1, ILP: 6}
+	if d := FromArch(config.SMT2).Delivered(app); d != 4 {
+		t.Fatalf("SMT2 delivered = %v, want 4", d)
+	}
+	if d := FromArch(config.SMT1).Delivered(app); d != 6 {
+		t.Fatalf("SMT1 delivered = %v, want 6", d)
+	}
+}
+
+func TestClassifyRegions(t *testing.T) {
+	fa2 := FromArch(config.FA2)
+	if r := fa2.Classify(Point{Threads: 1, ILP: 2}); r != RegionAppLimited {
+		t.Errorf("small app region = %v", r)
+	}
+	if r := fa2.Classify(Point{Threads: 4, ILP: 8}); r != RegionOptimal {
+		t.Errorf("big app region = %v", r)
+	}
+	if r := fa2.Classify(Point{Threads: 8, ILP: 1}); r != RegionBothLimited {
+		t.Errorf("thready app region = %v", r)
+	}
+	// SMT2's optimal region is a superset of FA2's (§2 conclusion).
+	smt2 := FromArch(config.SMT2)
+	if r := smt2.Classify(Point{Threads: 8, ILP: 1}); r != RegionOptimal {
+		t.Errorf("SMT2 should fully use 8 ILP-1 threads: %v", r)
+	}
+}
+
+// Property: §2's conclusion — an SMT's optimal region contains the
+// optimal region of the FA with the same cluster shape, so its
+// delivered performance is never lower.
+func TestSMTOptimalSupersetProperty(t *testing.T) {
+	pairs := [][2]config.Arch{
+		{config.SMT2, config.FA2},
+		{config.SMT4, config.FA4},
+		{config.SMT1, config.FA1},
+	}
+	f := func(tRaw, iRaw uint8) bool {
+		p := Point{Threads: float64(tRaw%96) / 8, ILP: float64(iRaw%96) / 8}
+		for _, pair := range pairs {
+			smt, fa := FromArch(pair[0]), FromArch(pair[1])
+			if smt.Delivered(p) < fa.Delivered(p)-1e-9 {
+				return false
+			}
+			if fa.Classify(p) == RegionOptimal && smt.Classify(p) != RegionOptimal {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: delivered performance is monotone in both coordinates and
+// never exceeds total issue or app demand.
+func TestDeliveredBoundsProperty(t *testing.T) {
+	procs := make([]Proc, 0, len(config.AllArchs))
+	for _, a := range config.AllArchs {
+		procs = append(procs, FromArch(a))
+	}
+	f := func(tRaw, iRaw uint8) bool {
+		p := Point{Threads: float64(tRaw % 12), ILP: float64(iRaw % 12)}
+		for _, pr := range procs {
+			d := pr.Delivered(p)
+			if d < 0 || d > pr.TotalIssue+1e-9 || d > p.Demand()+1e-9 {
+				return false
+			}
+			bigger := Point{Threads: p.Threads + 1, ILP: p.ILP + 1}
+			if pr.Delivered(bigger) < d-1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBestOfPredictsSweetSpots(t *testing.T) {
+	fas := []Proc{FromArch(config.FA8), FromArch(config.FA4), FromArch(config.FA2), FromArch(config.FA1)}
+	// Thready, low-ILP app -> FA8; narrow, high-ILP app -> FA1.
+	if best := BestOf(fas, Point{Threads: 7, ILP: 1.3}); best.Name != "FA8" {
+		t.Errorf("thready app best = %s", best.Name)
+	}
+	if best := BestOf(fas, Point{Threads: 1, ILP: 6}); best.Name != "FA1" {
+		t.Errorf("serial app best = %s", best.Name)
+	}
+	if best := BestOf(fas, Point{Threads: 4, ILP: 2.5}); best.Name != "FA4" {
+		t.Errorf("middle app best = %s", best.Name)
+	}
+}
+
+func TestChartRenders(t *testing.T) {
+	c := Chart(FromArch(config.SMT2), map[string]Point{"ocean": {Threads: 7, ILP: 1.5}})
+	if !strings.Contains(c, "SMT2") || !strings.Contains(c, "O") {
+		t.Fatalf("chart missing content:\n%s", c)
+	}
+	if !strings.Contains(c, "*") {
+		t.Fatal("hyperbola missing")
+	}
+}
+
+func TestRegionStrings(t *testing.T) {
+	for _, r := range []Region{RegionAppLimited, RegionOptimal, RegionBothLimited} {
+		if r.String() == "" {
+			t.Error("empty region string")
+		}
+	}
+}

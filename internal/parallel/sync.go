@@ -1,0 +1,112 @@
+// Package parallel implements the multithreaded runtime model shared by
+// the functional and timing simulators: named locks and barriers (the
+// ANL-macro substitute) and a functional round-robin scheduler used to
+// validate kernels independently of the timing pipeline.
+//
+// Synchronization objects are identified by small integer ids carried in
+// the LOCK/UNLOCK/BARRIER instruction immediates; their state lives in
+// this controller, not in simulated memory. Threads that cannot proceed
+// (lock held, barrier not full) are blocked by the front end and their
+// issue slots are attributed to the sync hazard, which is exactly how
+// the paper accounts for spinning.
+package parallel
+
+import "fmt"
+
+// NoOwner marks a free lock.
+const NoOwner = -1
+
+// Sync is the synchronization controller for one application run. It is
+// deterministic: grant order is decided by the (deterministic) order in
+// which the simulator polls threads.
+type Sync struct {
+	n        int // number of threads participating in barriers
+	lockOwn  map[int64]int
+	barCount map[int64]int
+	barGen   map[int64]uint64
+
+	// Stats.
+	LockAcquires  uint64
+	LockConflicts uint64 // failed TryLock polls
+	BarrierWaits  uint64 // barrier episodes completed
+}
+
+// NewSync returns a controller for n barrier participants.
+func NewSync(n int) *Sync {
+	if n <= 0 {
+		panic(fmt.Sprintf("parallel: invalid thread count %d", n))
+	}
+	return &Sync{
+		n:        n,
+		lockOwn:  make(map[int64]int),
+		barCount: make(map[int64]int),
+		barGen:   make(map[int64]uint64),
+	}
+}
+
+// Threads returns the number of barrier participants.
+func (s *Sync) Threads() int { return s.n }
+
+// TryLock attempts to acquire lock id for tid. It returns true on
+// success; a thread already owning the lock panics (the kernels never
+// take a lock recursively).
+func (s *Sync) TryLock(id int64, tid int) bool {
+	owner, held := s.lockOwn[id]
+	if held {
+		if owner == tid {
+			panic(fmt.Sprintf("parallel: thread %d re-acquiring lock %d", tid, id))
+		}
+		s.LockConflicts++
+		return false
+	}
+	s.lockOwn[id] = tid
+	s.LockAcquires++
+	return true
+}
+
+// Unlock releases lock id. Releasing a lock the thread does not own
+// panics: it indicates a kernel bug.
+func (s *Sync) Unlock(id int64, tid int) {
+	owner, held := s.lockOwn[id]
+	if !held || owner != tid {
+		panic(fmt.Sprintf("parallel: thread %d unlocking lock %d owned by %d (held=%v)", tid, id, owner, held))
+	}
+	delete(s.lockOwn, id)
+}
+
+// LockOwner returns the current owner of lock id, or NoOwner.
+func (s *Sync) LockOwner(id int64) int {
+	if owner, held := s.lockOwn[id]; held {
+		return owner
+	}
+	return NoOwner
+}
+
+// Arrive registers the calling thread at barrier id and returns the
+// generation the thread must wait for. When the last participant
+// arrives, the barrier trips: its generation advances and the arrival
+// count resets, releasing all waiters.
+func (s *Sync) Arrive(id int64) uint64 {
+	target := s.barGen[id] + 1
+	s.barCount[id]++
+	if s.barCount[id] == s.n {
+		s.barCount[id] = 0
+		s.barGen[id] = target
+		s.BarrierWaits++
+	} else if s.barCount[id] > s.n {
+		panic(fmt.Sprintf("parallel: barrier %d overfull", id))
+	}
+	return target
+}
+
+// Released reports whether barrier id has reached generation target.
+func (s *Sync) Released(id int64, target uint64) bool {
+	return s.barGen[id] >= target
+}
+
+// Waiting returns the number of threads currently parked at barrier id.
+func (s *Sync) Waiting(id int64) int { return s.barCount[id] }
+
+// HeldLocks returns the number of currently held locks (diagnostics and
+// deadlock checks: must be zero at end of run).
+func (s *Sync) HeldLocks() int { return len(s.lockOwn) }

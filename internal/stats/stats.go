@@ -1,0 +1,134 @@
+// Package stats implements the paper's issue-slot accounting (§4.1):
+// every cycle, each cluster's issue slots are either useful (an
+// instruction issued) or wasted; wasted slots are divided proportionally
+// among the hazards observed that cycle — the categories of Figures
+// 4/5/7/8.
+package stats
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Category is one slot class from §4.1.
+type Category uint8
+
+// Slot categories, in the paper's legend order (bottom of the stacked
+// bar first).
+const (
+	Useful     Category = iota
+	Fetch               // no instructions for a thread in the window
+	Sync                // spinning on barriers or locks
+	Control             // branch mispredictions
+	Data                // data dependences (non-memory producer)
+	Memory              // waiting on memory access / cache resources
+	Structural          // lack of functional units
+	Other               // squash & rename-register stalls
+	NumCategories
+)
+
+var catNames = [NumCategories]string{
+	"useful", "fetch", "sync", "control", "data", "memory", "structural", "other",
+}
+
+func (c Category) String() string {
+	if int(c) < len(catNames) {
+		return catNames[c]
+	}
+	return fmt.Sprintf("Category(%d)", uint8(c))
+}
+
+// AllCategories lists every category in declaration order.
+func AllCategories() []Category {
+	out := make([]Category, NumCategories)
+	for i := range out {
+		out[i] = Category(i)
+	}
+	return out
+}
+
+// Votes tallies hazard observations for one cluster-cycle. Index by
+// Category; Useful is ignored by Distribute.
+type Votes [NumCategories]float64
+
+// Reset zeroes the tally.
+func (v *Votes) Reset() { *v = Votes{} }
+
+// Total returns the sum of all hazard votes (excluding Useful).
+func (v *Votes) Total() float64 {
+	t := 0.0
+	for c := Fetch; c < NumCategories; c++ {
+		t += v[c]
+	}
+	return t
+}
+
+// Slots accumulates slot counts over a run.
+type Slots struct {
+	Counts [NumCategories]float64
+	Cycles int64
+}
+
+// RecordCycle accounts one cluster-cycle: width issue slots, of which
+// issued were useful; the remainder is split proportionally among the
+// hazard votes. With no votes (idle machine tail), wasted slots fall to
+// Fetch, the paper's "nothing available" class.
+func (s *Slots) RecordCycle(width, issued int, votes *Votes) {
+	s.Counts[Useful] += float64(issued)
+	wasted := float64(width - issued)
+	if wasted <= 0 {
+		return
+	}
+	total := votes.Total()
+	if total == 0 {
+		s.Counts[Fetch] += wasted
+		return
+	}
+	for c := Fetch; c < NumCategories; c++ {
+		s.Counts[c] += wasted * votes[c] / total
+	}
+}
+
+// AdvanceCycle notes that one machine cycle elapsed (call once per
+// cycle, not per cluster).
+func (s *Slots) AdvanceCycle() { s.Cycles++ }
+
+// Merge folds other into s (for aggregating parallel sub-runs; cycles
+// take the max since sub-machines run in lockstep).
+func (s *Slots) Merge(other *Slots) {
+	for i := range s.Counts {
+		s.Counts[i] += other.Counts[i]
+	}
+	if other.Cycles > s.Cycles {
+		s.Cycles = other.Cycles
+	}
+}
+
+// TotalSlots returns the sum over all categories; it equals
+// width_total × cycles by construction (asserted in tests).
+func (s *Slots) TotalSlots() float64 {
+	t := 0.0
+	for _, c := range s.Counts {
+		t += c
+	}
+	return t
+}
+
+// Fraction returns category c's share of all slots, in [0,1].
+func (s *Slots) Fraction(c Category) float64 {
+	t := s.TotalSlots()
+	if t == 0 {
+		return 0
+	}
+	return s.Counts[c] / t
+}
+
+// String renders a one-line percentage breakdown.
+func (s *Slots) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "cycles=%d", s.Cycles)
+	for c := Category(0); c < NumCategories; c++ {
+		fmt.Fprintf(&b, " %s=%.1f%%", c, 100*s.Fraction(c))
+	}
+	return b.String()
+}

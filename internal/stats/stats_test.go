@@ -1,0 +1,159 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestCategoryStrings(t *testing.T) {
+	want := []string{"useful", "fetch", "sync", "control", "data", "memory", "structural", "other"}
+	for i, w := range want {
+		if Category(i).String() != w {
+			t.Errorf("category %d = %q, want %q", i, Category(i), w)
+		}
+	}
+	if len(AllCategories()) != int(NumCategories) {
+		t.Fatal("AllCategories size mismatch")
+	}
+}
+
+func TestRecordCycleFullyUseful(t *testing.T) {
+	var s Slots
+	var v Votes
+	s.RecordCycle(4, 4, &v)
+	if s.Counts[Useful] != 4 || s.TotalSlots() != 4 {
+		t.Fatalf("counts = %+v", s.Counts)
+	}
+}
+
+func TestRecordCycleNoVotesFallsToFetch(t *testing.T) {
+	var s Slots
+	var v Votes
+	s.RecordCycle(4, 1, &v)
+	if s.Counts[Fetch] != 3 {
+		t.Fatalf("fetch = %v, want 3", s.Counts[Fetch])
+	}
+}
+
+func TestRecordCycleProportionalSplit(t *testing.T) {
+	var s Slots
+	var v Votes
+	v[Data] = 3
+	v[Memory] = 1
+	s.RecordCycle(8, 4, &v) // 4 wasted: 3 data, 1 memory
+	if math.Abs(s.Counts[Data]-3) > 1e-9 || math.Abs(s.Counts[Memory]-1) > 1e-9 {
+		t.Fatalf("split = data %v memory %v", s.Counts[Data], s.Counts[Memory])
+	}
+}
+
+// Property: total slots always equals width*cycles regardless of votes.
+func TestSlotConservation(t *testing.T) {
+	f := func(cycles []uint8, votesRaw []uint8) bool {
+		var s Slots
+		width := 8
+		for i, c := range cycles {
+			issued := int(c) % (width + 1)
+			var v Votes
+			for j := 0; j < int(NumCategories); j++ {
+				if i+j < len(votesRaw) {
+					v[j] = float64(votesRaw[i+j] % 5)
+				}
+			}
+			v[Useful] = 0
+			s.RecordCycle(width, issued, &v)
+			s.AdvanceCycle()
+		}
+		want := float64(width) * float64(len(cycles))
+		return math.Abs(s.TotalSlots()-want) < 1e-6*math.Max(1, want)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMerge(t *testing.T) {
+	var a, b Slots
+	var v Votes
+	a.RecordCycle(4, 4, &v)
+	a.Cycles = 10
+	b.RecordCycle(4, 2, &v)
+	b.Cycles = 20
+	a.Merge(&b)
+	if a.Counts[Useful] != 6 {
+		t.Fatalf("merged useful = %v", a.Counts[Useful])
+	}
+	if a.Cycles != 20 {
+		t.Fatalf("merged cycles = %d", a.Cycles)
+	}
+}
+
+func TestFractionAndString(t *testing.T) {
+	var s Slots
+	var v Votes
+	s.RecordCycle(4, 2, &v)
+	if f := s.Fraction(Useful); math.Abs(f-0.5) > 1e-9 {
+		t.Fatalf("useful fraction = %v", f)
+	}
+	if !strings.Contains(s.String(), "useful=50.0%") {
+		t.Fatalf("string = %q", s.String())
+	}
+	var empty Slots
+	if empty.Fraction(Useful) != 0 {
+		t.Fatal("empty fraction should be 0")
+	}
+}
+
+func TestVotesTotalExcludesUseful(t *testing.T) {
+	var v Votes
+	v[Useful] = 100
+	v[Data] = 2
+	if v.Total() != 2 {
+		t.Fatalf("total = %v", v.Total())
+	}
+	v.Reset()
+	if v.Total() != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+// Property: Merge is additive on counts and conservative on totals.
+func TestMergeProperty(t *testing.T) {
+	f := func(a, b []uint8) bool {
+		var sa, sb Slots
+		fill := func(s *Slots, xs []uint8) float64 {
+			total := 0.0
+			for i, x := range xs {
+				var v Votes
+				v[Fetch+Category(i%int(NumCategories-1))] = float64(x%7) + 1
+				s.RecordCycle(8, int(x)%9, &v)
+				s.AdvanceCycle()
+				total += 8
+			}
+			return total
+		}
+		ta := fill(&sa, a)
+		tb := fill(&sb, b)
+		merged := sa
+		merged.Merge(&sb)
+		if mathAbs(merged.TotalSlots()-(ta+tb)) > 1e-6*(ta+tb+1) {
+			return false
+		}
+		wantCycles := sa.Cycles
+		if sb.Cycles > wantCycles {
+			wantCycles = sb.Cycles
+		}
+		return merged.Cycles == wantCycles
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func mathAbs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

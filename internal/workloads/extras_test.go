@@ -1,0 +1,178 @@
+package workloads
+
+import (
+	"math"
+	"testing"
+
+	"clustersmt/internal/config"
+	"clustersmt/internal/core"
+	"clustersmt/internal/parallel"
+	"clustersmt/internal/prog"
+)
+
+func TestExtrasRegistered(t *testing.T) {
+	if len(Extras()) != 2 {
+		t.Fatalf("extras = %d", len(Extras()))
+	}
+	for _, name := range []string{"radix", "lu"} {
+		if _, err := ByName(name); err != nil {
+			t.Errorf("%s not resolvable: %v", name, err)
+		}
+	}
+}
+
+func TestRadixSortsCorrectly(t *testing.T) {
+	for _, threads := range []int{1, 3, 8} {
+		p := Radix().Build(threads, 1, SizeTest)
+		res, err := parallel.RunFunctional(p, threads, 100_000_000)
+		if err != nil {
+			t.Fatalf("threads=%d: %v", threads, err)
+		}
+		// The kernel's own inversion counter must be zero.
+		if inv := res.ReadWord(p, "checks", 0); inv != 0 {
+			t.Fatalf("threads=%d: %d inversions after sort", threads, inv)
+		}
+		// Independently verify: the keys are the sorted multiset of the
+		// initial image.
+		n := radixParams(SizeTest)
+		var want []uint64
+		state := uint64(0x12345678)
+		for i := int64(0); i < n; i++ {
+			state = state*6364136223846793005 + 1442695040888963407
+			want = append(want, (state>>33)&0xFF)
+		}
+		counts := map[uint64]int{}
+		for _, k := range want {
+			counts[k]++
+		}
+		prev := uint64(0)
+		for i := int64(0); i < n; i++ {
+			k := res.ReadWord(p, "keys", i)
+			if k < prev {
+				t.Fatalf("threads=%d: keys[%d]=%d < keys[%d]=%d", threads, i, k, i-1, prev)
+			}
+			counts[k]--
+			prev = k
+		}
+		for k, c := range counts {
+			if c != 0 {
+				t.Fatalf("threads=%d: key %d count off by %d (not a permutation)", threads, k, c)
+			}
+		}
+	}
+}
+
+func TestRadixThreadInvariance(t *testing.T) {
+	p1 := Radix().Build(1, 1, SizeTest)
+	r1, err := parallel.RunFunctional(p1, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p8 := Radix().Build(8, 1, SizeTest)
+	r8, err := parallel.RunFunctional(p8, 8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := radixParams(SizeTest)
+	for i := int64(0); i < n; i++ {
+		if r1.ReadWord(p1, "keys", i) != r8.ReadWord(p8, "keys", i) {
+			t.Fatalf("keys[%d] differs across thread counts", i)
+		}
+	}
+}
+
+func TestLUFactorsCorrectly(t *testing.T) {
+	n := luParams(SizeTest)
+	p := LU().Build(8, 1, SizeTest)
+	res, err := parallel.RunFunctional(p, 8, 100_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rebuild the original matrix and verify L*U element-wise.
+	orig := make([]float64, n*n)
+	for i := int64(0); i < n; i++ {
+		for j := int64(0); j < n; j++ {
+			v := 0.01 * float64((i*7+j*3)%13)
+			if i == j {
+				v = float64(n) + 1.5
+			}
+			orig[i*n+j] = v
+		}
+	}
+	lu := make([]float64, n*n)
+	for i := int64(0); i < n*n; i++ {
+		lu[i] = res.ReadFloat(p, "a", i)
+	}
+	for i := int64(0); i < n; i++ {
+		for j := int64(0); j < n; j++ {
+			// (L*U)[i][j] with L unit-lower, U upper (both packed in lu).
+			sum := 0.0
+			kmax := i
+			if j < i {
+				kmax = j
+			}
+			for k := int64(0); k < kmax; k++ {
+				sum += lu[i*n+k] * lu[k*n+j]
+			}
+			if i <= j {
+				sum += lu[i*n+j] // L[i][i] = 1
+			} else {
+				sum += lu[i*n+kmax] * lu[kmax*n+j]
+			}
+			if math.Abs(sum-orig[i*n+j]) > 1e-9 {
+				t.Fatalf("(LU)[%d][%d] = %g, want %g", i, j, sum, orig[i*n+j])
+			}
+		}
+	}
+	// The determinant global must equal the diagonal product.
+	det := 1.0
+	for k := int64(0); k < n; k++ {
+		det *= lu[k*n+k]
+	}
+	if got := res.ReadFloat(p, "det", 0); math.Abs(got-det) > math.Abs(det)*1e-12 {
+		t.Fatalf("det = %g, want %g", got, det)
+	}
+}
+
+func TestLUThreadInvariance(t *testing.T) {
+	n := luParams(SizeTest)
+	p1 := LU().Build(1, 1, SizeTest)
+	r1, err := parallel.RunFunctional(p1, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p8 := LU().Build(8, 1, SizeTest)
+	r8, err := parallel.RunFunctional(p8, 8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < n*n; i++ {
+		a := r1.ReadWord(p1, "a", i)
+		bb := r8.ReadWord(p8, "a", i)
+		if a != bb {
+			t.Fatalf("a[%d] differs across thread counts: %x vs %x", i, a, bb)
+		}
+	}
+}
+
+func TestExtrasOnTimingSimulator(t *testing.T) {
+	for _, w := range Extras() {
+		for _, arch := range []config.Arch{config.FA8, config.SMT2} {
+			m := config.LowEnd(arch)
+			p := w.Build(m.Threads(), m.Chips, SizeTest)
+			sim, err := core.New(m, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sim.MaxCycles = 200_000_000
+			res, err := sim.Run()
+			if err != nil {
+				t.Fatalf("%s/%s: %v", w.Name, arch.Name, err)
+			}
+			if res.Committed == 0 {
+				t.Fatalf("%s/%s: nothing committed", w.Name, arch.Name)
+			}
+		}
+	}
+	_ = prog.WordSize
+}

@@ -1,0 +1,139 @@
+package workloads
+
+import (
+	"fmt"
+	"strings"
+
+	"clustersmt/internal/interp"
+	"clustersmt/internal/isa"
+	"clustersmt/internal/parallel"
+	"clustersmt/internal/prog"
+)
+
+// Mix is a workload's dynamic instruction mix, measured by functional
+// execution — the workload-characterization table every simulation
+// paper carries alongside its figures.
+type Mix struct {
+	Total    uint64
+	IntOps   uint64
+	FPOps    uint64
+	Loads    uint64
+	Stores   uint64
+	Branches uint64
+	Syncs    uint64
+	Other    uint64
+}
+
+func (m Mix) pct(n uint64) float64 {
+	if m.Total == 0 {
+		return 0
+	}
+	return 100 * float64(n) / float64(m.Total)
+}
+
+// String renders the mix as percentages.
+func (m Mix) String() string {
+	return fmt.Sprintf("total=%d int=%.1f%% fp=%.1f%% load=%.1f%% store=%.1f%% branch=%.1f%% sync=%.1f%%",
+		m.Total, m.pct(m.IntOps), m.pct(m.FPOps), m.pct(m.Loads),
+		m.pct(m.Stores), m.pct(m.Branches), m.pct(m.Syncs))
+}
+
+// MeasureMix functionally executes p with the given thread count and
+// tallies the dynamic instruction mix (a counting variant of
+// parallel.RunFunctional's round-robin scheduler).
+func MeasureMix(p *prog.Program, threads int) (Mix, error) {
+	var m Mix
+	mem := interp.NewMemory()
+	mem.LoadImage(p)
+	sync := parallel.NewSync(threads)
+	threadsCtx := make([]*interp.Thread, threads)
+	for i := range threadsCtx {
+		threadsCtx[i] = interp.NewThread(i, p, mem)
+	}
+	blocked := make([]int, threads) // 0 none, 1 lock, 2 barrier
+	barTarget := make([]uint64, threads)
+	for {
+		progress, alive := false, false
+		for tid, t := range threadsCtx {
+			if t.Halted {
+				continue
+			}
+			alive = true
+			in := t.Peek()
+			switch blocked[tid] {
+			case 1:
+				if !sync.TryLock(in.Imm, tid) {
+					continue
+				}
+				blocked[tid] = 0
+			case 2:
+				if !sync.Released(in.Imm, barTarget[tid]) {
+					continue
+				}
+				blocked[tid] = 0
+			default:
+				switch in.Op {
+				case isa.OpLock:
+					if !sync.TryLock(in.Imm, tid) {
+						blocked[tid] = 1
+						continue
+					}
+				case isa.OpUnlock:
+					sync.Unlock(in.Imm, tid)
+				case isa.OpBarrier:
+					barTarget[tid] = sync.Arrive(in.Imm)
+					if !sync.Released(in.Imm, barTarget[tid]) {
+						blocked[tid] = 2
+						continue
+					}
+				}
+			}
+			inf := in.Info()
+			m.Total++
+			switch {
+			case inf.Sync:
+				m.Syncs++
+			case inf.Branch:
+				m.Branches++
+			case inf.Class == isa.ClassLoad:
+				m.Loads++
+			case inf.Class == isa.ClassStore:
+				m.Stores++
+			case inf.Class == isa.ClassFP:
+				m.FPOps++
+			case inf.Class == isa.ClassInt:
+				m.IntOps++
+			default:
+				m.Other++
+			}
+			t.Step()
+			progress = true
+		}
+		if !alive {
+			break
+		}
+		if !progress {
+			return Mix{}, fmt.Errorf("workloads: mix measurement deadlocked")
+		}
+	}
+	return m, nil
+}
+
+// MixTable renders the dynamic mixes of the given workloads at the
+// given thread count and size.
+func MixTable(ws []Workload, threads int, size Size) (string, error) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s %10s %6s %6s %6s %6s %7s %6s\n",
+		"app", "instrs", "int%", "fp%", "load%", "store%", "branch%", "sync%")
+	for _, w := range ws {
+		p := w.Build(threads, 1, size)
+		m, err := MeasureMix(p, threads)
+		if err != nil {
+			return "", fmt.Errorf("%s: %w", w.Name, err)
+		}
+		fmt.Fprintf(&b, "%-10s %10d %5.1f%% %5.1f%% %5.1f%% %5.1f%% %6.1f%% %5.1f%%\n",
+			w.Name, m.Total, m.pct(m.IntOps), m.pct(m.FPOps), m.pct(m.Loads),
+			m.pct(m.Stores), m.pct(m.Branches), m.pct(m.Syncs))
+	}
+	return b.String(), nil
+}

@@ -1,0 +1,171 @@
+package workloads
+
+import (
+	"fmt"
+
+	"clustersmt/internal/isa"
+	"clustersmt/internal/prog"
+)
+
+// SyntheticSpec places a parameterized workload at an arbitrary point
+// of the paper's (threads × ILP) plane — the §2 chart. It is the
+// workload generator behind sweep experiments: instead of the six
+// calibrated applications, generate a grid of points and observe how
+// each architecture responds.
+type SyntheticSpec struct {
+	// ParCap is the number of contexts the parallel loop occupies per
+	// 8 hardware contexts (0 = all): the thread-axis knob.
+	ParCap int
+	// ChainLen is the number of chained FP operations per loop
+	// iteration (each ~1-2 cycles of serial latency): the ILP-axis
+	// knob. 0 gives a fully independent (high-ILP) loop body.
+	ChainLen int
+	// IndepOps is the number of independent FP operations per
+	// iteration (work that can issue in parallel with the chain).
+	IndepOps int
+	// MemOps is the number of array loads per iteration (memory
+	// pressure; the array is sized by Footprint).
+	MemOps int
+	// FootprintKB is the array working set in KiB (0 = 16 KiB,
+	// L1-resident; larger values spill to L2/memory).
+	FootprintKB int
+	// Iters is the number of loop iterations distributed across the
+	// participating threads (0 = 4096).
+	Iters int64
+	// SerialIters is a serial (thread 0) chained section per step,
+	// in iterations: the Amdahl knob.
+	SerialIters int64
+	// Steps is the number of barrier-delimited repetitions (0 = 2).
+	Steps int64
+}
+
+func (s SyntheticSpec) withDefaults() SyntheticSpec {
+	if s.FootprintKB <= 0 {
+		s.FootprintKB = 16
+	}
+	if s.Iters <= 0 {
+		s.Iters = 4096
+	}
+	if s.Steps <= 0 {
+		s.Steps = 2
+	}
+	if s.MemOps < 1 {
+		s.MemOps = 1
+	}
+	return s
+}
+
+// Synthetic builds a Workload from the spec. The kernel is a barrier-
+// delimited parallel loop: each iteration performs MemOps strided
+// loads, IndepOps independent FP multiplies and a ChainLen-long carried
+// FP chain; thread 0 additionally runs SerialIters of a carried chain
+// per step.
+func Synthetic(spec SyntheticSpec) Workload {
+	spec = spec.withDefaults()
+	return Workload{
+		Name: fmt.Sprintf("synth(p%d,c%d,i%d,m%d)",
+			spec.ParCap, spec.ChainLen, spec.IndepOps, spec.MemOps),
+		Description: "parameterized synthetic workload (threads x ILP plane generator)",
+		ParCap:      spec.ParCap,
+		Build: func(threads, chips int, size Size) *prog.Program {
+			return buildSynthetic(spec, threads, chips, size)
+		},
+	}
+}
+
+func buildSynthetic(spec SyntheticSpec, threads, chips int, size Size) *prog.Program {
+	iters := spec.Iters
+	if size == SizeTest {
+		iters = min64(iters, 512)
+	}
+	words := int64(spec.FootprintKB) * 1024 / prog.WordSize
+
+	b := prog.NewBuilder("synthetic")
+	declareRuntime(b, threads, chips)
+	data := b.Global("data", words)
+	b.Global("out", 64)
+
+	const (
+		rI   isa.Reg = 1
+		rB   isa.Reg = 2 // iteration bound
+		rA   isa.Reg = 3 // array cursor (bytes)
+		rS   isa.Reg = 8 // step counter
+		rSB  isa.Reg = 9
+		rSer isa.Reg = 10
+		rSeB isa.Reg = 11
+	)
+	const (
+		fAcc  isa.Reg = 0 // carried chain value
+		fK    isa.Reg = 1
+		fT    isa.Reg = 2
+		fIndB isa.Reg = 3 // first of the independent destinations
+	)
+
+	b.Fli(fK, 0.501)
+	emitChunk(b, iters, spec.ParCap)
+	b.Li(rS, 0)
+	b.Li(rSB, spec.Steps)
+	b.CountedLoop(rS, rSB, func() {
+		b.Mov(rI, rLO)
+		b.Mov(rB, rHI)
+		b.Fli(fAcc, 1.0)
+		// Per-thread array cursor: start at (tid * 64) % footprint.
+		b.Shli(rA, rTID, 6)
+		b.Li(rT0, words*prog.WordSize)
+		b.Rem(rA, rA, rT0)
+		b.CountedLoop(rI, rB, func() {
+			for m := 0; m < spec.MemOps; m++ {
+				b.Ldf(fT, rA, data)
+				// Stride by 72 bytes (one line + one word) so the
+				// footprint is actually touched.
+				b.Addi(rA, rA, 72)
+				b.Li(rT0, words*prog.WordSize)
+				b.Rem(rA, rA, rT0)
+				if m == 0 {
+					b.Fadd(fAcc, fAcc, fT) // chain through the load
+				}
+			}
+			for c := 0; c < spec.ChainLen; c++ {
+				b.Fmul(fAcc, fAcc, fK)
+				b.Fadd(fAcc, fAcc, fK)
+			}
+			for ind := 0; ind < spec.IndepOps; ind++ {
+				dst := fIndB + isa.Reg(ind%8)
+				b.Fmul(dst, fK, fK)
+			}
+		})
+		// Publish the thread's chain value (per-thread slot).
+		b.Shli(rT0, rTID, 3)
+		b.Li(rT1, 64*prog.WordSize)
+		b.Rem(rT0, rT0, rT1)
+		b.Stf(fAcc, rT0, b.MustAddr("out"))
+		b.Barrier(0)
+		if spec.SerialIters > 0 {
+			b.IfThread0(func() {
+				b.Li(rSer, 0)
+				b.Li(rSeB, spec.SerialIters)
+				b.Fli(fT, 0.75)
+				b.CountedLoop(rSer, rSeB, func() {
+					b.Fmul(fT, fT, fK)
+					b.Fadd(fT, fT, fK)
+				})
+				b.Stf(fT, isa.RegZero, b.MustAddr("out"))
+			})
+			b.Barrier(1)
+		}
+	})
+	b.Halt()
+
+	p := b.MustBuild()
+	for i := int64(0); i < words; i++ {
+		p.Init[data+i*prog.WordSize] = floatBits(0.25 + 0.001*float64(i%97))
+	}
+	return p
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

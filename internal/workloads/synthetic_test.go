@@ -1,0 +1,108 @@
+package workloads
+
+import (
+	"testing"
+
+	"clustersmt/internal/config"
+	"clustersmt/internal/core"
+	"clustersmt/internal/parallel"
+)
+
+func runSynth(t *testing.T, spec SyntheticSpec, arch config.Arch) *core.Result {
+	t.Helper()
+	w := Synthetic(spec)
+	m := config.LowEnd(arch)
+	p := w.Build(m.Threads(), m.Chips, SizeTest)
+	sim, err := core.New(m, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.MaxCycles = 200_000_000
+	res, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestSyntheticRunsFunctionally(t *testing.T) {
+	specs := []SyntheticSpec{
+		{},
+		{ParCap: 2, ChainLen: 4},
+		{IndepOps: 8, MemOps: 3, SerialIters: 200},
+		{FootprintKB: 128, MemOps: 4},
+	}
+	for _, spec := range specs {
+		w := Synthetic(spec)
+		for _, threads := range []int{1, 8} {
+			p := w.Build(threads, 1, SizeTest)
+			if _, err := parallel.RunFunctional(p, threads, 50_000_000); err != nil {
+				t.Fatalf("%s threads=%d: %v", w.Name, threads, err)
+			}
+		}
+	}
+}
+
+// TestSyntheticChainLowersILP: a long carried chain must lower measured
+// IPC on a wide core compared to an independent-ops body.
+func TestSyntheticChainLowersILP(t *testing.T) {
+	indep := runSynth(t, SyntheticSpec{IndepOps: 8, Iters: 1024}, config.FA1)
+	chain := runSynth(t, SyntheticSpec{ChainLen: 8, Iters: 1024}, config.FA1)
+	if chain.IPC >= indep.IPC {
+		t.Errorf("chain IPC %.2f >= independent IPC %.2f", chain.IPC, indep.IPC)
+	}
+}
+
+// TestSyntheticParCapLimitsThreads: a ParCap of 2 must keep average
+// running threads near 2 on the 8-context FA8 (the rest park at the
+// barrier).
+func TestSyntheticParCapLimitsThreads(t *testing.T) {
+	res := runSynth(t, SyntheticSpec{ParCap: 2, Iters: 2048, ChainLen: 2}, config.FA8)
+	if res.AvgRunningThreads > 3.5 {
+		t.Errorf("avg running threads = %.2f, want ~2", res.AvgRunningThreads)
+	}
+}
+
+// TestSyntheticPlaneResponse: the architectures must respond to the
+// synthetic plane the way the §2 model predicts — a thready low-ILP
+// point favors FA8 over FA1; a narrow high-ILP point favors FA1 over
+// FA8.
+func TestSyntheticPlaneResponse(t *testing.T) {
+	thready := SyntheticSpec{ChainLen: 8, Iters: 2048} // all threads, ILP ~1-2
+	fa8 := runSynth(t, thready, config.FA8)
+	fa1 := runSynth(t, thready, config.FA1)
+	if fa8.Cycles >= fa1.Cycles {
+		t.Errorf("thready point: FA8 %d cycles >= FA1 %d", fa8.Cycles, fa1.Cycles)
+	}
+
+	narrow := SyntheticSpec{ParCap: 1, IndepOps: 10, Iters: 2048}
+	fa8n := runSynth(t, narrow, config.FA8)
+	fa1n := runSynth(t, narrow, config.FA1)
+	if fa1n.Cycles >= fa8n.Cycles {
+		t.Errorf("narrow point: FA1 %d cycles >= FA8 %d", fa1n.Cycles, fa8n.Cycles)
+	}
+}
+
+// TestSyntheticSerialAmdahl: adding serial iterations must slow the
+// many-thread machine disproportionately.
+func TestSyntheticSerialAmdahl(t *testing.T) {
+	base := runSynth(t, SyntheticSpec{ChainLen: 2, Iters: 2048}, config.FA8)
+	serial := runSynth(t, SyntheticSpec{ChainLen: 2, Iters: 2048, SerialIters: 3000}, config.FA8)
+	if serial.Cycles <= base.Cycles {
+		t.Errorf("serial section did not cost cycles: %d vs %d", serial.Cycles, base.Cycles)
+	}
+	if serial.Slots.Counts[2] <= base.Slots.Counts[2] { // sync slots
+		t.Error("serial section did not raise sync slots")
+	}
+}
+
+// TestSyntheticFootprintRaisesMemory: spilling the working set past the
+// L1 must raise the memory-hazard share.
+func TestSyntheticFootprintRaisesMemory(t *testing.T) {
+	small := runSynth(t, SyntheticSpec{MemOps: 4, FootprintKB: 16, Iters: 2048}, config.SMT2)
+	big := runSynth(t, SyntheticSpec{MemOps: 4, FootprintKB: 512, Iters: 2048}, config.SMT2)
+	if big.Slots.Fraction(5) <= small.Slots.Fraction(5) { // stats.Memory
+		t.Errorf("memory fraction did not rise: %.3f vs %.3f",
+			big.Slots.Fraction(5), small.Slots.Fraction(5))
+	}
+}
