@@ -1,0 +1,15 @@
+# Tier-1 gate: everything CI requires green.
+check:
+	go build ./...
+	go vet ./...
+	go test ./...
+
+# Race-check the concurrent harness (suite cache + singleflight).
+race:
+	go test -race ./internal/harness/...
+
+# Regenerate BENCH_core.json (event-driven fast-forward speedup).
+bench:
+	WRITE_BENCH=1 go test -run TestWriteBenchCoreJSON -v .
+
+.PHONY: check race bench

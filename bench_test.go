@@ -7,8 +7,11 @@
 package clustersmt_test
 
 import (
+	"encoding/json"
 	"fmt"
+	"os"
 	"testing"
+	"time"
 
 	"clustersmt"
 	"clustersmt/internal/config"
@@ -188,6 +191,130 @@ func BenchmarkPerApplication(b *testing.B) {
 			}
 		})
 	}
+}
+
+// buildStallHeavy is the event-driven fast-forward's motivating
+// workload: one thread chases a pointer chain through remote L2 (a
+// serial section) while the other 31 contexts wait at a barrier. On the
+// high-end machine almost every cycle is globally quiescent — all
+// clusters are blocked on the barrier or on a long-latency load — so
+// the cycle loop can jump from event to event.
+func buildStallHeavy(links int64) *clustersmt.Program {
+	b := clustersmt.NewProgram("pchase")
+	b.GlobalWords("nthreads", []uint64{32})
+	const n = 4096
+	data := b.Global("chain", n)
+	b.Global("out", 1)
+	b.IfThread0(func() {
+		b.Li(2, 0)
+		b.Li(3, 0)
+		b.Li(4, links)
+		b.CountedLoop(3, 4, func() {
+			b.Shli(5, 2, 3)
+			b.Ld(2, 5, data)
+		})
+		b.St(2, 0, b.MustAddr("out"))
+	})
+	b.Barrier(0)
+	b.Halt()
+	p := b.MustBuild()
+	base := p.SymbolAddr("chain")
+	for i := int64(0); i < n; i++ {
+		p.Init[base+i*8] = uint64((i*577 + 1) % n)
+	}
+	return p
+}
+
+func runStallHeavy(eventDriven bool) (*clustersmt.Result, error) {
+	sim, err := clustersmt.NewSimulator(clustersmt.HighEnd(clustersmt.SMT2), buildStallHeavy(2000))
+	if err != nil {
+		return nil, err
+	}
+	sim.EventDriven = eventDriven
+	return sim.Run()
+}
+
+// BenchmarkCoreFastForward compares plain cycle-by-cycle stepping
+// against the event-driven fast-forward on the stall-heavy workload
+// (results are bit-identical; see internal/core/fastforward_test.go).
+// The sim-cycles/s metric is the one recorded in BENCH_core.json.
+func BenchmarkCoreFastForward(b *testing.B) {
+	for _, mode := range []struct {
+		name        string
+		eventDriven bool
+	}{
+		{"cycle-stepped", false},
+		{"event-driven", true},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			var cycles int64
+			for i := 0; i < b.N; i++ {
+				res, err := runStallHeavy(mode.eventDriven)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cycles += res.Cycles
+			}
+			b.ReportMetric(float64(cycles)/b.Elapsed().Seconds(), "sim-cycles/s")
+		})
+	}
+}
+
+// TestWriteBenchCoreJSON records the fast-forward speedup in
+// BENCH_core.json (run via `make bench`; gated so ordinary test runs
+// stay hermetic and fast).
+func TestWriteBenchCoreJSON(t *testing.T) {
+	if os.Getenv("WRITE_BENCH") == "" {
+		t.Skip("set WRITE_BENCH=1 (make bench) to write BENCH_core.json")
+	}
+	const reps = 5
+	best := func(eventDriven bool) (time.Duration, int64) {
+		min := time.Duration(1<<63 - 1)
+		var cycles int64
+		for i := 0; i < reps; i++ {
+			start := time.Now()
+			res, err := runStallHeavy(eventDriven)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d := time.Since(start); d < min {
+				min = d
+			}
+			cycles = res.Cycles
+		}
+		return min, cycles
+	}
+	stepped, cycles := best(false)
+	event, _ := best(true)
+	report := struct {
+		Benchmark        string  `json:"benchmark"`
+		Machine          string  `json:"machine"`
+		Workload         string  `json:"workload"`
+		SimCycles        int64   `json:"sim_cycles"`
+		SteppedCyclesSec float64 `json:"cycle_stepped_sim_cycles_per_sec"`
+		EventCyclesSec   float64 `json:"event_driven_sim_cycles_per_sec"`
+		Speedup          float64 `json:"speedup"`
+	}{
+		Benchmark: "BenchmarkCoreFastForward",
+		Machine:   clustersmt.HighEnd(clustersmt.SMT2).Name,
+		Workload:  "pchase (serial remote-L2 pointer chase, 31 threads at a barrier)",
+		SimCycles: cycles,
+		SteppedCyclesSec: float64(cycles) / stepped.Seconds(),
+		EventCyclesSec:   float64(cycles) / event.Seconds(),
+		Speedup:          stepped.Seconds() / event.Seconds(),
+	}
+	if report.Speedup < 1.5 {
+		t.Fatalf("event-driven speedup %.2fx below the 1.5x floor", report.Speedup)
+	}
+	out, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_core.json", append(out, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("speedup %.2fx (%s stepped, %s event-driven over %d cycles)",
+		report.Speedup, stepped, event, cycles)
 }
 
 // BenchmarkMultiprogram measures multiprogrammed throughput: eight

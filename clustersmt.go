@@ -53,6 +53,18 @@ type MemConfig = config.MemConfig
 // instructions, IPC, the issue-slot breakdown and memory statistics.
 type Result = core.Result
 
+// Simulator is one configured simulation instance. Most callers should
+// use Simulate / SimulateProgram; the explicit form exposes pre-run
+// knobs (EventDriven, MaxCycles, SetICountFetch) and post-run
+// inspection (Mem, MemSystem, FastForwarded).
+type Simulator = core.Simulator
+
+// NewSimulator builds a simulator for machine m running program p, one
+// software thread per hardware context, without running it.
+func NewSimulator(m Machine, p *Program) (*Simulator, error) {
+	return core.New(m, p)
+}
+
 // Workload is one of the paper's six applications.
 type Workload = workloads.Workload
 

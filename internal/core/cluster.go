@@ -102,11 +102,33 @@ type cluster struct {
 	fetchRR  int
 	commitRR int
 
+	// arena batch-allocates window entries (entryArenaSize at a time) so
+	// the steady-state fetch path does not hit the allocator once per
+	// instruction. Slots are never reused — in-flight pointers (window,
+	// fifo, lastWriter, producers) stay valid — and retention is bounded
+	// because committed entries drop their producer links.
+	arena []entry
+
 	// Per-run counters.
 	slots            stats.Slots
 	renameStalls     uint64
 	fetchGroups      uint64
 	windowFullStalls uint64
+}
+
+// entryArenaSize is the batch size of the cluster entry allocator —
+// small enough that stale lastWriter references (at most one per
+// architectural register per thread) pin only a bounded tail of chunks.
+const entryArenaSize = 64
+
+// newEntry returns a fresh zeroed entry from the cluster's arena.
+func (c *cluster) newEntry() *entry {
+	if len(c.arena) == 0 {
+		c.arena = make([]entry, entryArenaSize)
+	}
+	e := &c.arena[0]
+	c.arena = c.arena[1:]
+	return e
 }
 
 func newCluster(chip, idx int, cfg config.Arch) *cluster {
@@ -151,8 +173,9 @@ func (c *cluster) freeUnit(class isa.Class, now int64) int {
 
 // commit retires up to IssueWidth completed instructions across the
 // cluster's threads, each thread strictly in order (§3.2: "instructions
-// are committed on a per-thread basis").
-func (c *cluster) commit(s *Simulator, now int64) {
+// are committed on a per-thread basis"). It reports whether anything
+// retired (the fast-forward idleness signal).
+func (c *cluster) commit(s *Simulator, now int64) bool {
 	budget := c.cfg.IssueWidth
 	removed := false
 	n := len(c.threads)
@@ -171,7 +194,15 @@ func (c *cluster) commit(s *Simulator, now int64) {
 				c.renameFPFree++
 			}
 			e.committed = true
+			e.dropProducers()
 			t.inWindow--
+			if t.fn.Halted && t.inWindow == 0 {
+				// The thread just drained after its halt: it leaves the
+				// running-thread count (it cannot be sync-blocked here —
+				// blocked threads never fetch, so they never halt).
+				s.running--
+				s.finished++
+			}
 			t.committed++
 			s.committed++
 			s.traceEvent(now, c, "C", e)
@@ -192,6 +223,7 @@ func (c *cluster) commit(s *Simulator, now int64) {
 		}
 		c.window = w
 	}
+	return removed
 }
 
 // ---- issue ----
@@ -300,14 +332,18 @@ func (c *cluster) forwardingStore(load *entry) *entry {
 // unblock re-evaluates every blocked thread at the start of the fetch
 // stage: branch redirects resolve when the branch completes; lock
 // spinners retry acquisition (grant order follows deterministic
-// simulator polling order); barrier waiters check the generation.
-func (c *cluster) unblock(s *Simulator, now int64) {
+// simulator polling order); barrier waiters check the generation. It
+// reports whether any thread resumed (failed lock polls do not count:
+// they leave the machine frozen and are bulk-replayed by fast-forward).
+func (c *cluster) unblock(s *Simulator, now int64) bool {
+	resumed := false
 	for _, t := range c.threads {
 		switch t.block {
 		case blockBranch:
 			if t.pendingBranch.done(now) {
 				t.block = blockNone
 				t.pendingBranch = nil
+				resumed = true
 			}
 		case blockLock:
 			if !t.lockGranted && t.sync.TryLock(t.fn.Peek().Imm, t.id) {
@@ -315,13 +351,18 @@ func (c *cluster) unblock(s *Simulator, now int64) {
 			}
 			if t.lockGranted {
 				t.block = blockNone
+				s.running++
+				resumed = true
 			}
 		case blockBarrier:
 			if t.sync.Released(t.fn.Peek().Imm, t.barTarget) {
 				t.block = blockNone
+				s.running++
+				resumed = true
 			}
 		}
 	}
+	return resumed
 }
 
 // fetch selects a thread round-robin (§3.2) and pulls up to IssueWidth
@@ -331,15 +372,24 @@ func (c *cluster) unblock(s *Simulator, now int64) {
 // more thread (the fetch-partitioning alternative of [Tullsen et al.]
 // that §5.2 cites), which keeps many-context clusters from starving
 // chain-bound threads.
-func (c *cluster) fetch(s *Simulator, now int64, votes *stats.Votes) {
+func (c *cluster) fetch(s *Simulator, now int64, votes *stats.Votes) bool {
 	budget := c.cfg.IssueWidth
+	progress := false
 	for picks := 0; picks < 2 && budget > 0; picks++ {
 		t := c.pickFetchThread()
 		if t == nil {
-			return
+			break
 		}
+		// Progress means instructions entered the window or the thread's
+		// block state changed; a fruitless stalled pick is not progress
+		// (its counters are bulk-replayed by the fast-forward).
+		fetchedBefore, blockBefore := t.fetched, t.block
 		budget = c.fetchFrom(s, t, now, budget, votes)
+		if t.fetched != fetchedBefore || t.block != blockBefore {
+			progress = true
+		}
 	}
+	return progress
 }
 
 // fetchFrom pulls up to budget instructions from t, returning the
@@ -371,6 +421,7 @@ func (c *cluster) fetchFrom(s *Simulator, t *threadCtx, now int64, budget int, v
 				t.lockGranted = false
 			} else if !t.sync.TryLock(in.Imm, t.id) {
 				t.block = blockLock
+				s.running--
 				return 0 // fetch redirect consumes the cycle
 			}
 		case isa.OpUnlock:
@@ -382,6 +433,7 @@ func (c *cluster) fetchFrom(s *Simulator, t *threadCtx, now int64, budget int, v
 			}
 			if !t.sync.Released(in.Imm, t.barTarget) {
 				t.block = blockBarrier
+				s.running--
 				return 0 // fetch redirect consumes the cycle
 			}
 			t.barArrived = false
@@ -397,7 +449,8 @@ func (c *cluster) fetchFrom(s *Simulator, t *threadCtx, now int64, budget int, v
 		}
 
 		d := t.fn.Step()
-		e := &entry{
+		e := c.newEntry()
+		*e = entry{
 			d:          d,
 			thread:     t,
 			seq:        c.seq,
@@ -411,24 +464,17 @@ func (c *cluster) fetchFrom(s *Simulator, t *threadCtx, now int64, budget int, v
 
 		// Wire register dependences to in-flight producers.
 		np := 0
-		addProducer := func(p *entry) {
-			if p == nil || np >= len(e.producers) {
-				return
-			}
-			e.producers[np] = p
-			np++
-		}
 		if inf.ReadsRS1 && in.RS1 != isa.RegZero {
-			addProducer(t.lastWriterInt[in.RS1])
+			np = e.addProducer(t.lastWriterInt[in.RS1], np)
 		}
 		if inf.ReadsRS2 && in.RS2 != isa.RegZero {
-			addProducer(t.lastWriterInt[in.RS2])
+			np = e.addProducer(t.lastWriterInt[in.RS2], np)
 		}
 		if inf.ReadsFS1 {
-			addProducer(t.lastWriterFP[in.FS1])
+			np = e.addProducer(t.lastWriterFP[in.FS1], np)
 		}
 		if inf.ReadsFS2 {
-			addProducer(t.lastWriterFP[in.FS2])
+			np = e.addProducer(t.lastWriterFP[in.FS2], np)
 		}
 		if needInt {
 			c.renameIntFree--

@@ -42,6 +42,28 @@ type entry struct {
 	committed       bool                  // retired; awaiting window compaction
 }
 
+// addProducer wires p as a register producer of e, returning the
+// updated producer count. nil producers (architecturally ready sources)
+// and overflow beyond the two source slots are ignored. A plain method
+// instead of a closure so the fetch hot path does not allocate.
+func (e *entry) addProducer(p *entry, np int) int {
+	if p == nil || np >= len(e.producers) {
+		return np
+	}
+	e.producers[np] = p
+	return np + 1
+}
+
+// dropProducers severs the entry's producer links at commit. Committed
+// producers always read as done, so this is behaviorally invisible —
+// but without it a live entry anchors its whole transitive dependence
+// history (every committed ancestor) against the garbage collector,
+// which on long runs retains the entire instruction stream.
+func (e *entry) dropProducers() {
+	e.producers[0] = nil
+	e.producers[1] = nil
+}
+
 // done reports whether the entry's result is available at cycle now.
 func (e *entry) done(now int64) bool {
 	switch e.state {

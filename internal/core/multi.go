@@ -74,6 +74,8 @@ func NewMulti(m config.Machine, progs []*prog.Program) (*Simulator, error) {
 		s.syncs = append(s.syncs, t.sync)
 	}
 	s.mem = s.mems[0]
+	s.running = len(s.threads)
+	s.EventDriven = true
 	return s, nil
 }
 

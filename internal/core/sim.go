@@ -35,11 +35,40 @@ type Simulator struct {
 	forwardedLoads uint64
 	runningAccum   float64 // Σ over cycles of running-thread count
 
+	// running counts threads neither finished nor blocked on
+	// synchronization, maintained incrementally at the block/unblock and
+	// halt-drain transitions (it replaces the per-cycle all-threads scan).
+	running int
+	// finished counts drained threads; done() is finished == len(threads).
+	finished int
+
+	// EventDriven enables the quiescence fast-forward: when no cluster
+	// can commit, issue, unblock or fetch, Run jumps to the next event
+	// cycle, bulk-charging the skipped slot accounting. Results are
+	// bit-identical either way (guarded by TestEventDrivenDifferential);
+	// turning it off forces plain cycle-by-cycle stepping.
+	EventDriven bool
+
+	// Fast-forward bookkeeping: per-cluster vote scratch, lock spinners
+	// found by the quiescence scan (their per-poll conflict counts are
+	// bulk-replayed), clusters whose fetch is pinned on a full window
+	// (their per-cycle stall counters and round-robin rotation are
+	// bulk-replayed), and the total number of skipped cycles.
+	ffVotes    []stats.Votes
+	ffRows     [][stats.NumCategories]float64
+	ffSpinners []*threadCtx
+	ffStalled  []ffStalledCluster
+	ffCycles   int64
+
 	// MaxCycles aborts the run when exceeded (safety net).
 	MaxCycles int64
 
 	tr *tracer
 }
+
+// FastForwarded returns the number of cycles covered by quiescence
+// skips rather than explicit steps (diagnostics and tests).
+func (s *Simulator) FastForwarded() int64 { return s.ffCycles }
 
 // SetICountFetch switches every cluster to the ICOUNT fetch policy
 // (fewest in-flight instructions first). Must be called before Run.
@@ -98,6 +127,8 @@ func New(m config.Machine, p *prog.Program) (*Simulator, error) {
 		cl.threads = append(cl.threads, t)
 		s.threads = append(s.threads, t)
 	}
+	s.running = len(s.threads)
+	s.EventDriven = true
 	return s, nil
 }
 
@@ -107,44 +138,44 @@ func (s *Simulator) Mem() *interp.Memory { return s.mem }
 // MemSystem exposes the timing memory system (post-run inspection).
 func (s *Simulator) MemSystem() *coherence.System { return s.msys }
 
-// done reports whether every thread has halted and drained.
-func (s *Simulator) done() bool {
-	for _, t := range s.threads {
-		if !t.done() {
-			return false
-		}
-	}
-	return true
-}
+// done reports whether every thread has halted and drained. finished
+// is maintained at the commit halt-drain transition, so this is O(1).
+func (s *Simulator) done() bool { return s.finished == len(s.threads) }
 
 // step advances the machine one cycle: commit, then issue (collecting
 // hazard votes), then fetch, in classic reverse-pipeline order so a
-// result produced this cycle is consumed no earlier than the next.
-func (s *Simulator) step() {
+// result produced this cycle is consumed no earlier than the next. It
+// reports whether any cluster made progress (committed, issued,
+// resumed or fetched) — the signal that arms the quiescence check.
+func (s *Simulator) step() bool {
 	now := s.cycle
+	active := false
 	for _, cl := range s.clusters {
-		cl.commit(s, now)
+		if cl.commit(s, now) {
+			active = true
+		}
 	}
 	var votes stats.Votes
 	for _, cl := range s.clusters {
 		votes.Reset()
 		issued := cl.issue(s, now, &votes)
-		cl.unblock(s, now)
-		cl.fetch(s, now, &votes)
+		if issued > 0 {
+			active = true
+		}
+		if cl.unblock(s, now) {
+			active = true
+		}
+		if cl.fetch(s, now, &votes) {
+			active = true
+		}
 		cl.threadVotes(&votes)
 		s.slots.RecordCycle(cl.cfg.IssueWidth, issued, &votes)
 		cl.slots.RecordCycle(cl.cfg.IssueWidth, issued, &votes)
 	}
 	s.slots.AdvanceCycle()
-
-	running := 0
-	for _, t := range s.threads {
-		if !t.done() && t.block != blockLock && t.block != blockBarrier {
-			running++
-		}
-	}
-	s.runningAccum += float64(running)
+	s.runningAccum += float64(s.running)
 	s.cycle++
+	return active
 }
 
 // Run simulates to completion and returns the result.
@@ -152,12 +183,37 @@ func (s *Simulator) Run() (*Result, error) {
 	if s.cycle != 0 {
 		return nil, fmt.Errorf("core: simulator already run")
 	}
+	// idle gates the quiescence check: a cycle in which nothing happened
+	// is the only state worth paying the dry-run scan for. Some idle
+	// states are persistently non-quiescent (an MSHR-blocked load, a
+	// rename-starved cluster next to a busy one), so failed probes back
+	// off exponentially rather than re-scanning every cycle.
+	idle := false
+	failStreak := 0
+	probeAt := int64(0)
 	for !s.done() {
 		if s.cycle >= s.MaxCycles {
 			return nil, fmt.Errorf("core: %s: exceeded %d cycles (committed %d instrs); livelock?",
 				s.Machine.Name, s.MaxCycles, s.committed)
 		}
-		s.step()
+		if idle && s.EventDriven && s.cycle >= probeAt {
+			if s.fastForward() {
+				idle = false
+				failStreak = 0
+				continue
+			}
+			if failStreak < 6 {
+				failStreak++
+			}
+			probeAt = s.cycle + 1<<failStreak
+		}
+		if s.step() {
+			failStreak = 0
+			probeAt = 0
+			idle = false
+		} else {
+			idle = true
+		}
 	}
 	return s.result(), nil
 }

@@ -36,6 +36,17 @@ type runKey struct {
 	chips    int
 }
 
+// inflight is one simulation's cache slot, registered before the run
+// starts (singleflight): the first caller for a key owns the run and
+// closes done when res/err are set; later callers wait on done. Errors
+// are cached like results, so a failing configuration is simulated
+// once, not once per figure that includes it.
+type inflight struct {
+	done chan struct{}
+	res  *core.Result
+	err  error
+}
+
 // Suite runs and caches simulations at a fixed input size.
 type Suite struct {
 	Size workloads.Size
@@ -43,7 +54,7 @@ type Suite struct {
 	MaxCycles int64
 
 	mu    sync.Mutex
-	cache map[runKey]*core.Result
+	cache map[runKey]*inflight
 	sem   chan struct{}
 }
 
@@ -52,7 +63,7 @@ type Suite struct {
 func NewSuite(size workloads.Size) *Suite {
 	return &Suite{
 		Size:  size,
-		cache: make(map[runKey]*core.Result),
+		cache: make(map[runKey]*inflight),
 		sem:   make(chan struct{}, runtime.GOMAXPROCS(0)),
 	}
 }
@@ -73,23 +84,27 @@ func (s *Suite) Run(app workloads.Workload, arch config.Arch, highEnd bool) (*co
 	k := key(app.Name, arch, m.Chips)
 
 	s.mu.Lock()
-	if r, ok := s.cache[k]; ok {
+	if fl, ok := s.cache[k]; ok {
 		s.mu.Unlock()
-		return r, nil
+		// Another caller owns (or already finished) this run; wait for
+		// it without holding a semaphore slot.
+		<-fl.done
+		return fl.res, fl.err
 	}
+	fl := &inflight{done: make(chan struct{})}
+	s.cache[k] = fl
 	s.mu.Unlock()
+	defer close(fl.done)
 
 	s.sem <- struct{}{}
 	defer func() { <-s.sem }()
 
-	// Re-check: another goroutine may have completed the same run.
-	s.mu.Lock()
-	if r, ok := s.cache[k]; ok {
-		s.mu.Unlock()
-		return r, nil
-	}
-	s.mu.Unlock()
+	fl.res, fl.err = s.simulate(app, m)
+	return fl.res, fl.err
+}
 
+// simulate performs one uncached simulation.
+func (s *Suite) simulate(app workloads.Workload, m config.Machine) (*core.Result, error) {
 	p := app.Build(m.Threads(), m.Chips, s.Size)
 	sim, err := core.New(m, p)
 	if err != nil {
@@ -102,10 +117,6 @@ func (s *Suite) Run(app workloads.Workload, arch config.Arch, highEnd bool) (*co
 	if err != nil {
 		return nil, fmt.Errorf("harness: %s on %s: %w", app.Name, m.Name, err)
 	}
-
-	s.mu.Lock()
-	s.cache[k] = r
-	s.mu.Unlock()
 	return r, nil
 }
 

@@ -1,0 +1,66 @@
+package harness
+
+import (
+	"sync"
+	"testing"
+
+	"clustersmt/internal/config"
+	"clustersmt/internal/core"
+	"clustersmt/internal/workloads"
+)
+
+// TestSingleflightSharesConcurrentRuns hammers one (app, arch) key from
+// many goroutines at once: exactly one simulation may run, and every
+// caller must get the same *Result pointer. Run under -race this also
+// exercises the in-flight synchronization itself.
+func TestSingleflightSharesConcurrentRuns(t *testing.T) {
+	s := NewSuite(workloads.SizeTest)
+	w, err := workloads.ByName("vpenta")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const callers = 16
+	results := make([]*core.Result, callers)
+	errs := make([]error, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = s.Run(w, config.FA8, false)
+		}(i)
+	}
+	wg.Wait()
+
+	for i := 0; i < callers; i++ {
+		if errs[i] != nil {
+			t.Fatalf("caller %d: %v", i, errs[i])
+		}
+		if results[i] != results[0] {
+			t.Fatalf("caller %d got a different *Result: the run was duplicated", i)
+		}
+	}
+}
+
+// TestSuiteCachesErrors forces a failing configuration (a MaxCycles too
+// small to finish anything) and checks the failure is simulated once:
+// the second call must return the identical cached error instance
+// instead of re-running the doomed simulation.
+func TestSuiteCachesErrors(t *testing.T) {
+	s := NewSuite(workloads.SizeTest)
+	s.MaxCycles = 10 // nothing finishes in 10 cycles
+	w, err := workloads.ByName("vpenta")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	_, err1 := s.Run(w, config.FA8, false)
+	if err1 == nil {
+		t.Fatal("expected a MaxCycles failure")
+	}
+	_, err2 := s.Run(w, config.FA8, false)
+	if err2 != err1 {
+		t.Fatalf("error not cached: %v vs %v", err1, err2)
+	}
+}

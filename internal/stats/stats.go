@@ -72,8 +72,13 @@ type Slots struct {
 // RecordCycle accounts one cluster-cycle: width issue slots, of which
 // issued were useful; the remainder is split proportionally among the
 // hazard votes. With no votes (idle machine tail), wasted slots fall to
-// Fetch, the paper's "nothing available" class.
+// Fetch, the paper's "nothing available" class. Issuing more than width
+// would silently violate the categories-sum-to-width×cycles invariant
+// (the §4.1 property test), so it panics instead.
 func (s *Slots) RecordCycle(width, issued int, votes *Votes) {
+	if issued > width {
+		panic(fmt.Sprintf("stats: issued %d exceeds issue width %d", issued, width))
+	}
 	s.Counts[Useful] += float64(issued)
 	wasted := float64(width - issued)
 	if wasted <= 0 {
@@ -89,9 +94,60 @@ func (s *Slots) RecordCycle(width, issued int, votes *Votes) {
 	}
 }
 
+// IdleRow precomputes the per-category additions one zero-issue cycle
+// with these votes contributes — exactly the values RecordCycle(width,
+// 0, votes) would add, so folding the row with AddRow is bit-identical
+// to calling RecordCycle (including the zero entries: adding +0.0 to a
+// non-negative accumulator is an exact no-op in IEEE 754).
+func IdleRow(width int, votes *Votes) (row [NumCategories]float64) {
+	wasted := float64(width)
+	total := votes.Total()
+	if total == 0 {
+		row[Fetch] = wasted
+		return row
+	}
+	for c := Fetch; c < NumCategories; c++ {
+		row[c] = wasted * votes[c] / total
+	}
+	return row
+}
+
+// AddRow folds one precomputed cycle row into the tally. Hot path of
+// the event-driven fast-forward: the machine-wide tally must receive
+// each skipped cycle's per-cluster contributions in the original
+// interleaved order (float addition is not associative), but the
+// divides behind each row only need computing once per skip.
+func (s *Slots) AddRow(row *[NumCategories]float64) {
+	for c := Fetch; c < NumCategories; c++ {
+		s.Counts[c] += row[c]
+	}
+}
+
+// RecordIdleCycles accounts n consecutive cluster-cycles in which no
+// instruction issued and the hazard votes were identical — the bulk
+// path behind the event-driven fast-forward (internal/core).
+//
+// It deliberately performs the same repeated floating-point additions
+// that n individual RecordCycle(width, 0, votes) calls would: float
+// addition is not associative, and the fast-forward's contract is that
+// skipped cycles leave counts bit-identical to cycle-by-cycle stepping.
+func (s *Slots) RecordIdleCycles(width int, n int64, votes *Votes) {
+	if n <= 0 {
+		return
+	}
+	row := IdleRow(width, votes)
+	for i := int64(0); i < n; i++ {
+		s.AddRow(&row)
+	}
+}
+
 // AdvanceCycle notes that one machine cycle elapsed (call once per
 // cycle, not per cluster).
 func (s *Slots) AdvanceCycle() { s.Cycles++ }
+
+// AdvanceCycles notes that n machine cycles elapsed at once (the
+// event-driven fast-forward path).
+func (s *Slots) AdvanceCycles(n int64) { s.Cycles += n }
 
 // Merge folds other into s (for aggregating parallel sub-runs; cycles
 // take the max since sub-machines run in lockstep).
