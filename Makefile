@@ -1,8 +1,15 @@
 # Tier-1 gate: everything CI requires green.
-check:
+check: diff
 	go build ./...
 	go vet ./...
 	go test ./...
+
+# Differential matrix only: scan × wakeup issue crossed with stepped ×
+# fast-forward cycle loops must agree bit-for-bit on the full Result
+# (reflect.DeepEqual) across every preset. Fast feedback when touching
+# the issue stage or the quiescence skip.
+diff:
+	go test ./internal/core -run 'TestEventDriven|TestWakeup|TestStoreForwardingMap'
 
 # Race-check the concurrent harness (suite cache + singleflight).
 race:
@@ -12,4 +19,4 @@ race:
 bench:
 	WRITE_BENCH=1 go test -run TestWriteBenchCoreJSON -v .
 
-.PHONY: check race bench
+.PHONY: check diff race bench

@@ -16,6 +16,7 @@ import (
 	"clustersmt"
 	"clustersmt/internal/config"
 	"clustersmt/internal/harness"
+	"clustersmt/internal/isa"
 	"clustersmt/internal/model"
 	"clustersmt/internal/workloads"
 )
@@ -260,61 +261,208 @@ func BenchmarkCoreFastForward(b *testing.B) {
 	}
 }
 
-// TestWriteBenchCoreJSON records the fast-forward speedup in
-// BENCH_core.json (run via `make bench`; gated so ordinary test runs
+// buildComputeBound is the wakeup issue stage's motivating workload:
+// the inverse of pchase. Two contexts per SMT1 chip each grind a
+// serial unpipelined-Fdiv dependence chain — at 7 cycles per link that
+// is well under one instruction per cycle per chip, yet the chains'
+// in-flight tails pack all four 128-entry windows with waiting
+// entries. Thread 0 is a ticker: a serial one-cycle integer Add chain
+// that issues and commits every single cycle, which pins the
+// quiescence fast-forward off for the whole machine (quiescence is
+// global) for the whole run — it is sized to outlast the Fdiv
+// threads. The remaining contexts halt immediately so the per-cycle
+// bookkeeping outside the issue stage stays small. All the host time
+// therefore goes to the issue stage itself: the full-window scan
+// re-polls ~500 waiting Fdivs every cycle, while the wakeup path
+// touches only the ticker plus the rare Fdiv completion events.
+func buildComputeBound(fdivIters, tickIters int64) *clustersmt.Program {
+	b := clustersmt.NewProgram("fdivchain")
+	b.GlobalWords("nthreads", []uint64{32})
+	b.Li(9, 0)
+	b.Li(11, 1)
+	b.Blt(isa.RegTID, 11, "ticker") // thread 0
+	b.Li(11, 9)
+	b.Blt(isa.RegTID, 11, "fdiv") // threads 1..8: two per chip
+	b.Halt()                      // the rest retire immediately
+
+	b.Label("ticker")
+	b.Li(1, 1)
+	b.Li(2, 0)
+	b.Li(10, tickIters)
+	b.CountedLoop(9, 10, func() {
+		for k := 0; k < 24; k++ {
+			b.Add(2, 2, 1)
+		}
+	})
+	b.Halt()
+
+	b.Label("fdiv")
+	b.Fli(1, 1.0)
+	b.Fli(2, 1.0001)
+	b.Li(10, fdivIters)
+	b.CountedLoop(9, 10, func() {
+		for k := 0; k < 4; k++ {
+			b.Fdiv(1, 1, 2)
+		}
+	})
+	b.Halt()
+	return b.MustBuild()
+}
+
+// newComputeBound builds the benchmark simulator: ICOUNT fetch keeps
+// the ticker thread — always the fewest in-flight instructions, since
+// its entries commit the cycle after they issue — fed with the window
+// slots the Fdiv hoarders release, so its one-instruction-per-cycle
+// stream never starves.
+func newComputeBound(eventIssue bool) (*clustersmt.Simulator, error) {
+	sim, err := clustersmt.NewSimulator(clustersmt.HighEnd(clustersmt.SMT1), buildComputeBound(1600, 2100))
+	if err != nil {
+		return nil, err
+	}
+	sim.SetICountFetch(true)
+	sim.EventIssue = eventIssue
+	return sim, nil
+}
+
+func runComputeBound(eventIssue bool) (*clustersmt.Result, error) {
+	sim, err := newComputeBound(eventIssue)
+	if err != nil {
+		return nil, err
+	}
+	return sim.Run()
+}
+
+// BenchmarkCoreWakeup compares the reference full-window issue scan
+// against the dependence-driven wakeup path on the compute-bound
+// workload (results are bit-identical; see
+// internal/core/fastforward_test.go and wakeup_test.go). The
+// sim-cycles/s metric is the one recorded in BENCH_core.json.
+func BenchmarkCoreWakeup(b *testing.B) {
+	for _, mode := range []struct {
+		name       string
+		eventIssue bool
+	}{
+		{"scan", false},
+		{"wakeup", true},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			var cycles int64
+			for i := 0; i < b.N; i++ {
+				res, err := runComputeBound(mode.eventIssue)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cycles += res.Cycles
+			}
+			b.ReportMetric(float64(cycles)/b.Elapsed().Seconds(), "sim-cycles/s")
+		})
+	}
+}
+
+// benchEntry is one BENCH_core.json record. The base/fast rate fields
+// carry entry-specific JSON names (cycle-stepped vs event-driven for
+// the fast-forward entry, scan vs wakeup for the issue-stage entry),
+// so the file is written as raw messages assembled per entry.
+type benchEntry struct {
+	Benchmark string  `json:"benchmark"`
+	Machine   string  `json:"machine"`
+	Workload  string  `json:"workload"`
+	SimCycles int64   `json:"sim_cycles"`
+	Speedup   float64 `json:"speedup"`
+}
+
+// bestOf times fn reps times and returns the fastest wall time plus the
+// run's simulated cycle count (deterministic across reps).
+func bestOf(t *testing.T, reps int, fn func() (*clustersmt.Result, error)) (time.Duration, int64) {
+	t.Helper()
+	min := time.Duration(1<<63 - 1)
+	var cycles int64
+	for i := 0; i < reps; i++ {
+		start := time.Now()
+		res, err := fn()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := time.Since(start); d < min {
+			min = d
+		}
+		cycles = res.Cycles
+	}
+	return min, cycles
+}
+
+// TestWriteBenchCoreJSON records the fast-forward and wakeup speedups
+// in BENCH_core.json (run via `make bench`; gated so ordinary test runs
 // stay hermetic and fast).
 func TestWriteBenchCoreJSON(t *testing.T) {
 	if os.Getenv("WRITE_BENCH") == "" {
 		t.Skip("set WRITE_BENCH=1 (make bench) to write BENCH_core.json")
 	}
 	const reps = 5
-	best := func(eventDriven bool) (time.Duration, int64) {
-		min := time.Duration(1<<63 - 1)
-		var cycles int64
-		for i := 0; i < reps; i++ {
-			start := time.Now()
-			res, err := runStallHeavy(eventDriven)
-			if err != nil {
-				t.Fatal(err)
-			}
-			if d := time.Since(start); d < min {
-				min = d
-			}
-			cycles = res.Cycles
-		}
-		return min, cycles
-	}
-	stepped, cycles := best(false)
-	event, _ := best(true)
-	report := struct {
-		Benchmark        string  `json:"benchmark"`
-		Machine          string  `json:"machine"`
-		Workload         string  `json:"workload"`
-		SimCycles        int64   `json:"sim_cycles"`
+
+	// Entry 1: quiescence fast-forward on the stall-heavy workload.
+	ffStepped, ffCycles := bestOf(t, reps, func() (*clustersmt.Result, error) { return runStallHeavy(false) })
+	ffEvent, _ := bestOf(t, reps, func() (*clustersmt.Result, error) { return runStallHeavy(true) })
+	ffReport := struct {
+		benchEntry
 		SteppedCyclesSec float64 `json:"cycle_stepped_sim_cycles_per_sec"`
 		EventCyclesSec   float64 `json:"event_driven_sim_cycles_per_sec"`
-		Speedup          float64 `json:"speedup"`
 	}{
-		Benchmark: "BenchmarkCoreFastForward",
-		Machine:   clustersmt.HighEnd(clustersmt.SMT2).Name,
-		Workload:  "pchase (serial remote-L2 pointer chase, 31 threads at a barrier)",
-		SimCycles: cycles,
-		SteppedCyclesSec: float64(cycles) / stepped.Seconds(),
-		EventCyclesSec:   float64(cycles) / event.Seconds(),
-		Speedup:          stepped.Seconds() / event.Seconds(),
+		benchEntry: benchEntry{
+			Benchmark: "BenchmarkCoreFastForward",
+			Machine:   clustersmt.HighEnd(clustersmt.SMT2).Name,
+			Workload:  "pchase (serial remote-L2 pointer chase, 31 threads at a barrier)",
+			SimCycles: ffCycles,
+			Speedup:   ffStepped.Seconds() / ffEvent.Seconds(),
+		},
+		SteppedCyclesSec: float64(ffCycles) / ffStepped.Seconds(),
+		EventCyclesSec:   float64(ffCycles) / ffEvent.Seconds(),
 	}
-	if report.Speedup < 1.5 {
-		t.Fatalf("event-driven speedup %.2fx below the 1.5x floor", report.Speedup)
+	if ffReport.Speedup < 1.5 {
+		t.Fatalf("event-driven speedup %.2fx below the 1.5x floor", ffReport.Speedup)
 	}
-	out, err := json.MarshalIndent(report, "", "  ")
+
+	// Entry 2: wakeup issue stage on the compute-bound workload. The
+	// fast-forward must stay disengaged — the ticker thread leaves no
+	// quiescent cycles to skip, so the issue stage is the whole story.
+	if sim, err := newComputeBound(true); err != nil {
+		t.Fatal(err)
+	} else if _, err := sim.Run(); err != nil {
+		t.Fatal(err)
+	} else if sim.FastForwarded() != 0 {
+		t.Fatalf("fast-forward skipped %d cycles on the compute-bound workload; wakeup measurement would be confounded", sim.FastForwarded())
+	}
+	wkScan, wkCycles := bestOf(t, reps, func() (*clustersmt.Result, error) { return runComputeBound(false) })
+	wkWakeup, _ := bestOf(t, reps, func() (*clustersmt.Result, error) { return runComputeBound(true) })
+	wkReport := struct {
+		benchEntry
+		ScanCyclesSec   float64 `json:"scan_sim_cycles_per_sec"`
+		WakeupCyclesSec float64 `json:"wakeup_sim_cycles_per_sec"`
+	}{
+		benchEntry: benchEntry{
+			Benchmark: "BenchmarkCoreWakeup",
+			Machine:   clustersmt.HighEnd(clustersmt.SMT1).Name,
+			Workload:  "fdivchain (8 serial unpipelined-Fdiv chains filling four 128-entry windows + 1 every-cycle ticker thread, no quiescent cycles)",
+			SimCycles: wkCycles,
+			Speedup:   wkScan.Seconds() / wkWakeup.Seconds(),
+		},
+		ScanCyclesSec:   float64(wkCycles) / wkScan.Seconds(),
+		WakeupCyclesSec: float64(wkCycles) / wkWakeup.Seconds(),
+	}
+	if wkReport.Speedup < 1.5 {
+		t.Fatalf("wakeup speedup %.2fx below the 1.5x floor", wkReport.Speedup)
+	}
+
+	out, err := json.MarshalIndent([]any{ffReport, wkReport}, "", "  ")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if err := os.WriteFile("BENCH_core.json", append(out, '\n'), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	t.Logf("speedup %.2fx (%s stepped, %s event-driven over %d cycles)",
-		report.Speedup, stepped, event, cycles)
+	t.Logf("fast-forward %.2fx (%s stepped, %s event-driven over %d cycles); wakeup %.2fx (%s scan, %s wakeup over %d cycles)",
+		ffReport.Speedup, ffStepped, ffEvent, ffCycles,
+		wkReport.Speedup, wkScan, wkWakeup, wkCycles)
 }
 
 // BenchmarkMultiprogram measures multiprogrammed throughput: eight

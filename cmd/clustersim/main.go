@@ -6,6 +6,7 @@
 // Usage:
 //
 //	clustersim [-arch SMT2] [-app ocean] [-highend] [-size ref] [-v]
+//	           [-cpuprofile cpu.out] [-memprofile mem.out]
 package main
 
 import (
@@ -14,6 +15,8 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"clustersmt"
@@ -32,7 +35,34 @@ func main() {
 	tracePath := flag.String("trace", "", "write a pipeline trace to this file")
 	traceFrom := flag.Int64("trace-from", 0, "first cycle to trace")
 	traceTo := flag.Int64("trace-to", 0, "last cycle to trace (0 = to the end)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer f.Close()
+			runtime.GC() // settle allocations so the profile reflects live heap
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				log.Fatal(err)
+			}
+		}()
+	}
 
 	arch, err := clustersmt.ArchByName(*archName)
 	if err != nil {

@@ -7,6 +7,7 @@
 // Usage:
 //
 //	paperfigs [-size ref] [-only fig4,fig7] [-o report.md]
+//	          [-cpuprofile cpu.out] [-memprofile mem.out]
 package main
 
 import (
@@ -15,6 +16,8 @@ import (
 	"io"
 	"log"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"clustersmt"
@@ -33,7 +36,34 @@ func main() {
 	only := flag.String("only", "", "comma-separated subset: table1,table2,table3,fig1,fig4,fig5,fig6,fig7,fig8,conclusion,model,mix")
 	outPath := flag.String("o", "", "also write the report to this file")
 	bars := flag.Bool("bars", false, "also draw paper-style stacked bars")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer f.Close()
+			runtime.GC() // settle allocations so the profile reflects live heap
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				log.Fatal(err)
+			}
+		}()
+	}
 
 	size := clustersmt.SizeRef
 	if strings.ToLower(*sizeName) == "test" {

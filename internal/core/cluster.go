@@ -1,6 +1,8 @@
 package core
 
 import (
+	"fmt"
+
 	"clustersmt/internal/config"
 	"clustersmt/internal/interp"
 	"clustersmt/internal/isa"
@@ -42,9 +44,23 @@ type threadCtx struct {
 	lastWriterInt [isa.NumIntRegs]*entry
 	lastWriterFP  [isa.NumFPRegs]*entry
 
+	// lastStore maps an effective address to the thread's youngest
+	// in-flight store to it (lazily allocated; evicted at commit). Loads
+	// bind their forwarding candidate from it at fetch, replacing the
+	// per-issue FIFO scan.
+	lastStore map[int64]*entry
+
 	fifo     []*entry // program order, for in-order commit
 	fifoHead int
 	inWindow int
+
+	// frontEvent caches the cycle the fifo front can first commit:
+	// its completeAt once issued, noEvent while it is still dispatched
+	// or the fifo is empty. Commit's per-cycle poll over every thread
+	// then compares one cached int instead of dereferencing the front
+	// entry. Maintained at the three places the front can change:
+	// push into an empty fifo, the front entry issuing, and pop.
+	frontEvent int64
 
 	fetched   uint64
 	committed uint64
@@ -68,6 +84,12 @@ func (t *threadCtx) fifoPop() {
 		t.fifo = t.fifo[:n]
 		t.fifoHead = 0
 	}
+	t.frontEvent = noEvent
+	if t.fifoLen() > 0 {
+		if f := t.fifoFront(); f.state != stateDispatched {
+			t.frontEvent = f.completeAt
+		}
+	}
 }
 
 // cluster is one SMT core: the unit of resource partitioning. Nothing
@@ -80,6 +102,7 @@ type cluster struct {
 	threads []*threadCtx
 	window  []*entry // reorder buffer: dispatch -> commit
 	iqCount int      // instruction-queue occupancy: dispatch -> issue
+	zombies int      // committed entries not yet swept out of window
 	seq     uint64
 
 	renameIntFree int
@@ -89,6 +112,23 @@ type cluster struct {
 	intUnits  []int64
 	ldstUnits []int64
 	fpUnits   []int64
+
+	// minFree[fuIdx(class)] caches the earliest next-free cycle across
+	// the class's units, so a failed freeUnit probe (and fast-forward's
+	// next-event computation) is O(1) instead of a scan.
+	minFree [3]int64
+
+	// Wakeup-path state (wakeup.go): the front-end pending deque
+	// (entries not yet past the decode/rename delay, in fetch and hence
+	// eligibleAt order), the time-bucketed wakeup wheel, the seq-sorted
+	// ready list, and the waiting entries' hazard tallies maintained
+	// incrementally. All empty on the scan path.
+	pending     []*entry
+	pendingHead int
+	wheel       wheel
+	ready       []*entry
+	waitMemN    int
+	waitDataN   int
 
 	bp  *BranchPredictor
 	btb *BTB
@@ -157,9 +197,26 @@ func (c *cluster) units(class isa.Class) []int64 {
 	}
 }
 
+// fuIdx maps a functional-unit class to its minFree slot.
+func fuIdx(class isa.Class) int {
+	switch class {
+	case isa.ClassLoad, isa.ClassStore:
+		return 1
+	case isa.ClassFP:
+		return 2
+	default:
+		return 0
+	}
+}
+
 // freeUnit returns the index of an available unit of the class at cycle
-// now, or -1.
+// now, or -1. The cached class minimum rejects the all-busy case — the
+// common outcome under structural hazards and the one fast-forward
+// probes — without touching the array.
 func (c *cluster) freeUnit(class isa.Class, now int64) int {
+	if c.minFree[fuIdx(class)] > now {
+		return -1
+	}
 	us := c.units(class)
 	for i, free := range us {
 		if free <= now {
@@ -167,6 +224,26 @@ func (c *cluster) freeUnit(class isa.Class, now int64) int {
 		}
 	}
 	return -1
+}
+
+// busyUnit marks unit of class busy until the given cycle, keeping the
+// class's cached minimum next-free cycle exact.
+func (c *cluster) busyUnit(class isa.Class, unit int, until int64) {
+	us := c.units(class)
+	us[unit] = until
+	min := us[0]
+	for _, f := range us[1:] {
+		if f < min {
+			min = f
+		}
+	}
+	c.minFree[fuIdx(class)] = min
+}
+
+// nextUnitFree returns the earliest cycle any unit of the class frees —
+// with every unit busy, the class's next structural event.
+func (c *cluster) nextUnitFree(class isa.Class) int64 {
+	return c.minFree[fuIdx(class)]
 }
 
 // ---- commit ----
@@ -181,7 +258,7 @@ func (c *cluster) commit(s *Simulator, now int64) bool {
 	n := len(c.threads)
 	for i := 0; i < n && budget > 0; i++ {
 		t := c.threads[(c.commitRR+i)%n]
-		for budget > 0 && t.fifoLen() > 0 && t.fifoFront().done(now) {
+		for budget > 0 && t.frontEvent <= now {
 			e := t.fifoFront()
 			t.fifoPop()
 			if e.isStore {
@@ -194,7 +271,14 @@ func (c *cluster) commit(s *Simulator, now int64) bool {
 				c.renameFPFree++
 			}
 			e.committed = true
+			c.zombies++
 			e.dropProducers()
+			if e.isStore && t.lastStore[e.d.Addr] == e {
+				// Youngest in-flight store to this address: nothing
+				// younger replaced it, so the mapping dies with it and
+				// the map stays bounded by in-flight stores.
+				delete(t.lastStore, e.d.Addr)
+			}
 			t.inWindow--
 			if t.fn.Halted && t.inWindow == 0 {
 				// The thread just drained after its halt: it leaves the
@@ -211,26 +295,44 @@ func (c *cluster) commit(s *Simulator, now int64) bool {
 		}
 	}
 	c.commitRR++
-	if removed {
-		w := c.window[:0]
-		for _, e := range c.window {
-			if !e.committed {
-				w = append(w, e)
+
+	// Compact lazily: committed entries are invisible to every window
+	// walk already (their state is not dispatched), so sweeping them out
+	// each cycle — a full pointer-slice rewrite, all barriered writes —
+	// buys nothing. They only pad the slice, which the capacity checks
+	// correct for via c.zombies. Sweep once a quarter-window of zombies
+	// accumulates (or the window is all zombies, so the sweep is free),
+	// skipping the still-uncommitted prefix in place.
+	if threshold := c.cfg.WindowEntries / 4; c.zombies > 0 &&
+		(c.zombies > threshold || c.zombies == len(c.window)) {
+		w := c.window
+		i := 0
+		for i < len(w) && !w[i].committed {
+			i++
+		}
+		j := i
+		for ; i < len(w); i++ {
+			if e := w[i]; !e.committed {
+				w[j] = e
+				j++
 			}
 		}
-		for i := len(w); i < len(c.window); i++ {
-			c.window[i] = nil
+		for k := j; k < len(w); k++ {
+			w[k] = nil
 		}
-		c.window = w
+		c.window = w[:j]
+		c.zombies = 0
 	}
 	return removed
 }
 
 // ---- issue ----
 
-// issue selects up to IssueWidth ready instructions, oldest first, and
+// issue is the reference issue stage: it selects up to IssueWidth ready
+// instructions, oldest first, by re-scanning every window entry, and
 // starts them on functional units. Unissuable instructions vote for
-// their hazard class (§4.1).
+// their hazard class (§4.1). The wakeup path (issueEvent, wakeup.go)
+// replaces the scan and must stay bit-identical to it.
 func (c *cluster) issue(s *Simulator, now int64, votes *stats.Votes) int {
 	issued := 0
 	for _, e := range c.window {
@@ -249,71 +351,96 @@ func (c *cluster) issue(s *Simulator, now int64, votes *stats.Votes) int {
 			}
 			continue
 		}
-		class := e.fuClass()
-		unit := c.freeUnit(class, now)
-		if unit < 0 {
-			votes[stats.Structural]++
-			continue
+		if c.tryIssue(s, e, now, votes) {
+			issued++
 		}
-
-		var completeAt int64
-		inf := e.d.Instr.Info()
-		switch {
-		case e.isLoad:
-			if st := c.forwardingStore(e); st != nil {
-				if !st.done(now) {
-					// Store-to-load dependence through memory whose
-					// producer has not generated its value yet.
-					votes[stats.Data]++
-					continue
-				}
-				e.forwarded = true
-				completeAt = now + int64(inf.Latency)
-				s.forwardedLoads++
-			} else {
-				dataReady, cls, ok := s.msys.Load(now, c.chip, e.d.Addr+e.thread.memBase)
-				if !ok {
-					// MSHR file full: retry next cycle.
-					votes[stats.Memory]++
-					continue
-				}
-				e.memClass = cls
-				// Table 1 charges loads 2 cycles on an L1 hit: address
-				// generation plus the 1-cycle L1 round trip returned by
-				// the memory system.
-				completeAt = dataReady + 1
-			}
-		case e.isStore:
-			// Address generation only; the access itself happens at
-			// commit and never blocks the pipeline.
-			completeAt = now + int64(inf.Latency)
-		default:
-			lat := int64(inf.Latency)
-			if lat <= 0 {
-				lat = 1
-			}
-			completeAt = now + lat
-		}
-
-		occupancy := int64(1)
-		if !inf.Pipel {
-			occupancy = int64(inf.Latency)
-		}
-		c.units(class)[unit] = now + occupancy
-
-		e.state = stateIssued
-		e.completeAt = completeAt
-		c.iqCount--
-		s.traceEvent(now, c, "I", e)
-		issued++
 	}
 	return issued
 }
 
-// forwardingStore returns the youngest older same-thread, same-address
-// store still in the window, or nil ("full load bypassing" with exact
-// disambiguation, §3.1 — addresses are known at fetch).
-func (c *cluster) forwardingStore(load *entry) *entry {
+// debugCheckForwarding, set by tests, cross-checks the fetch-bound
+// forwarding candidate against the reference FIFO scan on every load
+// issue attempt.
+var debugCheckForwarding bool
+
+// tryIssue attempts to start a source-ready entry on a functional unit
+// at cycle now. On failure it records the entry's hazard vote —
+// structural on FU exhaustion, data behind a pending same-address
+// store, memory when the MSHR file is full — and reports false; the
+// caller retries next cycle. Shared by the scan and wakeup issue paths
+// so the two stay vote-, order- and side-effect-identical by
+// construction.
+func (c *cluster) tryIssue(s *Simulator, e *entry, now int64, votes *stats.Votes) bool {
+	class := e.fuCl
+	unit := c.freeUnit(class, now)
+	if unit < 0 {
+		votes[stats.Structural]++
+		return false
+	}
+
+	var completeAt int64
+	switch {
+	case e.isLoad:
+		st := e.forwardingStore()
+		if debugCheckForwarding {
+			if ref := c.forwardingStoreScan(e); ref != st {
+				panic(fmt.Sprintf("core: forwarding map %v disagrees with FIFO scan %v (load seq %d)", st, ref, e.seq))
+			}
+		}
+		if st != nil {
+			if !st.done(now) {
+				// Store-to-load dependence through memory whose
+				// producer has not generated its value yet.
+				votes[stats.Data]++
+				return false
+			}
+			e.forwarded = true
+			completeAt = now + e.lat
+			s.forwardedLoads++
+		} else {
+			dataReady, cls, ok := s.msys.Load(now, c.chip, e.d.Addr+e.thread.memBase)
+			if !ok {
+				// MSHR file full: retry next cycle.
+				votes[stats.Memory]++
+				return false
+			}
+			e.memClass = cls
+			// Table 1 charges loads 2 cycles on an L1 hit: address
+			// generation plus the 1-cycle L1 round trip returned by
+			// the memory system.
+			completeAt = dataReady + 1
+		}
+	case e.isStore:
+		// Address generation only; the access itself happens at
+		// commit and never blocks the pipeline.
+		completeAt = now + e.lat
+	default:
+		lat := e.lat
+		if lat <= 0 {
+			lat = 1
+		}
+		completeAt = now + lat
+	}
+
+	c.busyUnit(class, unit, now+e.occ)
+
+	e.state = stateIssued
+	e.completeAt = completeAt
+	if t := e.thread; t.fifo[t.fifoHead] == e {
+		t.frontEvent = completeAt
+	}
+	c.iqCount--
+	s.traceEvent(now, c, "I", e)
+	if s.EventIssue {
+		c.wake(e)
+	}
+	return true
+}
+
+// forwardingStoreScan is the reference FIFO scan behind
+// entry.forwardingStore's map-bound answer; kept for the equivalence
+// tests (wakeup_test.go) and the debugCheckForwarding cross-check.
+func (c *cluster) forwardingStoreScan(load *entry) *entry {
 	t := load.thread
 	for i := len(t.fifo) - 1; i >= t.fifoHead; i-- {
 		e := t.fifo[i]
@@ -405,7 +532,7 @@ func (c *cluster) fetchFrom(s *Simulator, t *threadCtx, now int64, budget int, v
 		// Table 2 sizes the instruction queue and the reorder buffer
 		// separately (equal sizes): issued instructions leave the
 		// queue, so long-latency loads in flight do not clog it.
-		if len(c.window) >= c.cfg.WindowEntries || c.iqCount >= c.cfg.WindowEntries {
+		if len(c.window)-c.zombies >= c.cfg.WindowEntries || c.iqCount >= c.cfg.WindowEntries {
 			c.windowFullStalls++
 			break
 		}
@@ -449,6 +576,15 @@ func (c *cluster) fetchFrom(s *Simulator, t *threadCtx, now int64, budget int, v
 		}
 
 		d := t.fn.Step()
+		fc := inf.Class
+		if fc == isa.ClassNone {
+			// Sync and halt pseudo-ops borrow an integer unit slot.
+			fc = isa.ClassInt
+		}
+		occ := int64(1)
+		if !inf.Pipel {
+			occ = int64(inf.Latency)
+		}
 		e := c.newEntry()
 		*e = entry{
 			d:          d,
@@ -456,6 +592,9 @@ func (c *cluster) fetchFrom(s *Simulator, t *threadCtx, now int64, budget int, v
 			seq:        c.seq,
 			fetchedAt:  now,
 			eligibleAt: now + config.FrontEndDelay,
+			fuCl:       fc,
+			lat:        int64(inf.Latency),
+			occ:        occ,
 			isLoad:     inf.Class == isa.ClassLoad,
 			isStore:    inf.Class == isa.ClassStore,
 			isBranch:   inf.Branch,
@@ -487,12 +626,29 @@ func (c *cluster) fetchFrom(s *Simulator, t *threadCtx, now int64, budget int, v
 			t.lastWriterFP[in.FD] = e
 		}
 
+		// Memory-dependence bookkeeping: stores publish themselves as
+		// the youngest write to their address; loads bind the current
+		// youngest as their forwarding candidate (addresses are known
+		// at fetch, §3.1).
+		switch {
+		case e.isStore:
+			if t.lastStore == nil {
+				t.lastStore = make(map[int64]*entry)
+			}
+			t.lastStore[e.d.Addr] = e
+		case e.isLoad:
+			e.fwdStore = t.lastStore[e.d.Addr]
+		}
+
 		c.window = append(c.window, e)
 		c.iqCount++
 		t.fifo = append(t.fifo, e)
 		t.inWindow++
 		t.fetched++
 		s.traceEvent(now, c, "F", e)
+		if s.EventIssue {
+			c.dispatchEvent(e)
+		}
 
 		if inf.Branch {
 			if c.handleBranch(t, e, d) {
@@ -506,7 +662,7 @@ func (c *cluster) fetchFrom(s *Simulator, t *threadCtx, now int64, budget int, v
 		}
 	}
 	fetched := width
-	if len(c.window) >= c.cfg.WindowEntries || c.iqCount >= c.cfg.WindowEntries || t.fn.Halted {
+	if len(c.window)-c.zombies >= c.cfg.WindowEntries || c.iqCount >= c.cfg.WindowEntries || t.fn.Halted {
 		// Window-full and halt paths may have consumed fewer slots,
 		// but a full window ends the cycle's fetching entirely.
 		return 0

@@ -32,6 +32,15 @@ type entry struct {
 	// dispatch. nil entries were architecturally ready.
 	producers [2]*entry
 
+	// Issue-stage facts cached off isa.Info at fetch, so the (possibly
+	// many) issue retries never re-index the opcode table: the
+	// functional-unit class (ClassNone pseudo-ops borrow an integer
+	// slot), the raw Table 1 latency, and the unit occupancy once issued
+	// (1 when pipelined, the full latency otherwise).
+	fuCl isa.Class
+	lat  int64
+	occ  int64
+
 	isLoad, isStore bool
 	isBranch        bool
 	mispredicted    bool
@@ -40,6 +49,24 @@ type entry struct {
 	memClass        coherence.AccessClass // loads only, set at issue
 	forwarded       bool                  // load satisfied by an older in-window store
 	committed       bool                  // retired; awaiting window compaction
+
+	// Wakeup-path bookkeeping (wakeup.go; all zero on the scan path).
+	// queued tracks the entry's issue-stage classification; waitMem
+	// caches the memory-vs-data hazard class while queued == qWaiting.
+	// firstCons heads this entry's intrusive consumer list — dependents
+	// registered while it was an unissued producer, woken at its
+	// completion; consNext[k] continues the list this entry joined
+	// through its producer slot k (allocation-free: an entry sits on at
+	// most two consumer lists, one per source).
+	queued    uint8
+	waitMem   bool
+	firstCons *entry
+	consNext  [2]*entry
+
+	// fwdStore is the youngest older same-thread, same-address store at
+	// fetch time (the store-forwarding map's answer, bound at dispatch).
+	// Loads only; nil when no such store was in flight.
+	fwdStore *entry
 }
 
 // addProducer wires p as a register producer of e, returning the
@@ -58,10 +85,29 @@ func (e *entry) addProducer(p *entry, np int) int {
 // producers always read as done, so this is behaviorally invisible —
 // but without it a live entry anchors its whole transitive dependence
 // history (every committed ancestor) against the garbage collector,
-// which on long runs retains the entire instruction stream.
+// which on long runs retains the entire instruction stream. The
+// memory-dependence link (fwdStore) is dropped for the same reason.
 func (e *entry) dropProducers() {
 	e.producers[0] = nil
 	e.producers[1] = nil
+	e.fwdStore = nil
+}
+
+// forwardingStore returns the youngest older same-thread, same-address
+// store still in the window, or nil ("full load bypassing" with exact
+// disambiguation, §3.1 — addresses are known at fetch). The candidate
+// was bound at fetch from the thread's last-store-by-address map;
+// because commit is in order per thread, the candidate having committed
+// means every older same-address store has too, so the answer degrades
+// straight to nil — no FIFO scan needed (the reference scan is kept as
+// forwardingStoreScan for the equivalence tests).
+func (e *entry) forwardingStore() *entry {
+	st := e.fwdStore
+	if st != nil && st.committed {
+		e.fwdStore = nil
+		return nil
+	}
+	return st
 }
 
 // done reports whether the entry's result is available at cycle now.
@@ -94,12 +140,3 @@ func (e *entry) sourcesReady(now int64) (ready, memWait bool) {
 	return ready, memWait
 }
 
-// fuClass maps the instruction to the functional-unit class it needs in
-// the pipeline. Sync and halt pseudo-ops borrow an integer unit slot.
-func (e *entry) fuClass() isa.Class {
-	c := e.d.Instr.Info().Class
-	if c == isa.ClassNone {
-		return isa.ClassInt
-	}
-	return c
-}

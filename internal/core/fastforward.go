@@ -67,13 +67,13 @@ func (s *Simulator) clusterQuiescent(cl *cluster, now int64, votes *stats.Votes)
 	// Commit stage: any thread with a completed instruction at its
 	// in-order commit point retires it.
 	for _, t := range cl.threads {
-		if t.fifoLen() > 0 && t.fifoFront().done(now) {
+		if t.frontEvent <= now {
 			return false, 0
 		}
 	}
 
 	// Fetch stage: blocked threads may resume; runnable threads fetch.
-	winFull := len(cl.window) >= cl.cfg.WindowEntries || cl.iqCount >= cl.cfg.WindowEntries
+	winFull := len(cl.window)-cl.zombies >= cl.cfg.WindowEntries || cl.iqCount >= cl.cfg.WindowEntries
 	stall := stallNone
 	for _, t := range cl.threads {
 		switch t.block {
@@ -137,9 +137,25 @@ func (s *Simulator) clusterQuiescent(cl *cluster, now int64, votes *stats.Votes)
 		s.ffStalled = append(s.ffStalled, ffStalledCluster{cl, stallRename})
 	}
 
-	// Issue stage: replicate issue()'s scan and vote logic without
+	// Issue stage: replicate the issue path's vote logic without
 	// issuing. Nothing may be issuable — an issuable entry is progress,
 	// and for loads even the attempt mutates memory-system counters.
+	if s.EventIssue {
+		if !quiescentIssueEvent(cl, now, votes, event) {
+			return false, 0
+		}
+	} else if !quiescentIssueScan(cl, now, votes, event) {
+		return false, 0
+	}
+
+	cl.threadVotes(votes)
+	return true, next
+}
+
+// quiescentIssueScan dry-runs the reference window scan (issue): per
+// dispatched entry, the vote it would record this cycle, plus the
+// future cycles that could change the verdict.
+func quiescentIssueScan(cl *cluster, now int64, votes *stats.Votes, event func(int64)) bool {
 	for _, e := range cl.window {
 		if e.state != stateDispatched {
 			// Issued and not yet done: completion is this entry's event.
@@ -165,17 +181,15 @@ func (s *Simulator) clusterQuiescent(cl *cluster, now int64, votes *stats.Votes)
 			// (or its own issue chain) is already an event above.
 			continue
 		}
-		class := e.fuClass()
+		class := e.fuCl
 		if cl.freeUnit(class, now) < 0 {
 			votes[stats.Structural]++
-			for _, free := range cl.units(class) {
-				event(free) // all units busy, so every free time is > now
-			}
+			event(cl.nextUnitFree(class)) // all busy, so the min is > now
 			continue
 		}
 		if e.isLoad {
-			if st := cl.forwardingStore(e); st != nil && !st.done(now) {
-				// Store-to-load dependence through memory (issue() votes
+			if st := e.forwardingStore(); st != nil && !st.done(now) {
+				// Store-to-load dependence through memory (tryIssue votes
 				// Data here); the store's completion is an event above.
 				votes[stats.Data]++
 				continue
@@ -184,11 +198,48 @@ func (s *Simulator) clusterQuiescent(cl *cluster, now int64, votes *stats.Votes)
 		// Ready with a free unit: it would issue this cycle (or, for a
 		// load, at least hit the memory system and bump its retry
 		// accounting). Either way the cluster is not quiescent.
-		return false, 0
+		return false
 	}
+	return true
+}
 
-	cl.threadVotes(votes)
-	return true, next
+// quiescentIssueEvent dry-runs the wakeup issue stage (issueEvent).
+// The event drain is idempotent at a fixed cycle, so running it here
+// leaves a subsequent step (on probe failure) unperturbed. After the
+// drain, the ready list and waiting tallies are exactly what the scan
+// would re-derive: ready entries are checked individually (their FU /
+// pending-store verdicts can change without a wheel event), waiting
+// entries vote in bulk, and the pending deque's head plus the wheel's
+// earliest bucket bound every front-end transition, producer
+// completion and in-flight completion — so no wakeup fires strictly
+// inside a skip interval, which is what keeps the per-cycle votes
+// constant while quiescent.
+func quiescentIssueEvent(cl *cluster, now int64, votes *stats.Votes, event func(int64)) bool {
+	cl.drainEvents(now)
+	for _, e := range cl.ready {
+		class := e.fuCl
+		if cl.freeUnit(class, now) < 0 {
+			votes[stats.Structural]++
+			event(cl.nextUnitFree(class)) // all busy, so the min is > now
+			continue
+		}
+		if e.isLoad {
+			if st := e.forwardingStore(); st != nil && !st.done(now) {
+				// The store's completion is a wheel event (wake pushes a
+				// self event at every issue).
+				votes[stats.Data]++
+				continue
+			}
+		}
+		return false
+	}
+	votes[stats.Memory] += float64(cl.waitMemN)
+	votes[stats.Data] += float64(cl.waitDataN)
+	if cl.pendingHead < len(cl.pending) {
+		event(cl.pending[cl.pendingHead].eligibleAt)
+	}
+	event(cl.wheel.min())
+	return true
 }
 
 // fastForward attempts a quiescence skip at the current cycle. It

@@ -9,38 +9,57 @@ import (
 	"clustersmt/internal/workloads"
 )
 
-// runBothModes runs the same (machine, program) pair with and without
-// the event-driven fast-forward and returns both results plus the
-// number of cycles the event-driven run skipped.
-func runBothModes(t *testing.T, m config.Machine, build func() *prog.Program) (stepped, ff *Result, skipped int64) {
+// runMode runs one (machine, program) pair with the given issue-path
+// and cycle-loop selections, returning the result and the number of
+// cycles the quiescence fast-forward skipped.
+func runMode(t *testing.T, m config.Machine, build func() *prog.Program, eventIssue, fastForward bool) (*Result, int64) {
 	t.Helper()
-	base, err := New(m, build())
+	s, err := New(m, build())
 	if err != nil {
 		t.Fatal(err)
 	}
-	base.EventDriven = false
-	stepped, err = base.Run()
+	s.EventIssue = eventIssue
+	s.EventDriven = fastForward
+	r, err := s.Run()
 	if err != nil {
 		t.Fatal(err)
 	}
-
-	ev, err := New(m, build())
-	if err != nil {
-		t.Fatal(err)
-	}
-	ff, err = ev.Run()
-	if err != nil {
-		t.Fatal(err)
-	}
-	return stepped, ff, ev.FastForwarded()
+	return r, s.FastForwarded()
 }
 
-// TestEventDrivenDifferential is the fast-forward's contract test: on
-// every Table 2 preset, low- and high-end, over a memory-bound and a
-// sync-bound workload, event-driven stepping must produce a Result that
-// is bit-identical to cycle-by-cycle stepping — same cycles, same
-// float64 slot counts, every counter. It also asserts the fast path
-// actually engaged somewhere, so the equality is not vacuous.
+// diffModes are the three mode combinations compared against the
+// scan × stepped reference: the issue stage (full-window scan vs
+// dependence-driven wakeup) crossed with the cycle loop (cycle-by-cycle
+// vs quiescence fast-forward).
+var diffModes = []struct {
+	name       string
+	eventIssue bool
+	ff         bool
+}{
+	{"scan+ff", false, true},
+	{"wakeup+stepped", true, false},
+	{"wakeup+ff", true, true},
+}
+
+// runBothModes runs the same (machine, program) pair with and without
+// the event-driven fast-forward (on the default wakeup issue path) and
+// returns both results plus the number of cycles the event-driven run
+// skipped.
+func runBothModes(t *testing.T, m config.Machine, build func() *prog.Program) (stepped, ff *Result, skipped int64) {
+	t.Helper()
+	stepped, _ = runMode(t, m, build, true, false)
+	ff, skipped = runMode(t, m, build, true, true)
+	return stepped, ff, skipped
+}
+
+// TestEventDrivenDifferential is the contract test for both event
+// layers: on every Table 2 preset, low- and high-end, over a
+// memory-bound and a sync-bound workload, every combination of
+// {scan, wakeup} issue stage × {stepped, fast-forward} cycle loop must
+// produce a Result that is bit-identical (reflect.DeepEqual — same
+// cycles, same float64 slot counts, every counter) to the scan ×
+// stepped reference. It also asserts the fast path actually engaged
+// somewhere, so the fast-forward legs are not vacuous.
 func TestEventDrivenDifferential(t *testing.T) {
 	apps := []string{"ocean", "fmm"}
 	var totalSkipped int64
@@ -60,11 +79,14 @@ func TestEventDrivenDifferential(t *testing.T) {
 					build := func() *prog.Program {
 						return w.Build(m.Threads(), m.Chips, workloads.SizeTest)
 					}
-					stepped, ff, skipped := runBothModes(t, m, build)
-					if !reflect.DeepEqual(stepped, ff) {
-						t.Errorf("event-driven result differs from cycle-by-cycle:\n  stepped: %v\n  fastfwd: %v", stepped, ff)
+					ref, _ := runMode(t, m, build, false, false)
+					for _, md := range diffModes {
+						got, skipped := runMode(t, m, build, md.eventIssue, md.ff)
+						if !reflect.DeepEqual(ref, got) {
+							t.Errorf("%s result differs from scan+stepped reference:\n  ref: %v\n  got: %v", md.name, ref, got)
+						}
+						totalSkipped += skipped
 					}
-					totalSkipped += skipped
 				})
 			}
 		}
@@ -175,24 +197,23 @@ func TestEventDrivenMultiprogram(t *testing.T) {
 	}
 	m := config.LowEnd(config.SMT2)
 
-	base, err := NewMulti(m, jobs())
-	if err != nil {
-		t.Fatal(err)
+	run := func(eventIssue, ff bool) *Result {
+		s, err := NewMulti(m, jobs())
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.EventIssue = eventIssue
+		s.EventDriven = ff
+		r, err := s.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
 	}
-	base.EventDriven = false
-	stepped, err := base.Run()
-	if err != nil {
-		t.Fatal(err)
-	}
-	ev, err := NewMulti(m, jobs())
-	if err != nil {
-		t.Fatal(err)
-	}
-	ff, err := ev.Run()
-	if err != nil {
-		t.Fatal(err)
-	}
-	if !reflect.DeepEqual(stepped, ff) {
-		t.Errorf("multiprogram results differ:\n  stepped: %v\n  fastfwd: %v", stepped, ff)
+	ref := run(false, false)
+	for _, md := range diffModes {
+		if got := run(md.eventIssue, md.ff); !reflect.DeepEqual(ref, got) {
+			t.Errorf("multiprogram %s result differs from scan+stepped reference:\n  ref: %v\n  got: %v", md.name, ref, got)
+		}
 	}
 }

@@ -62,12 +62,13 @@ func NewMulti(m config.Machine, progs []*prog.Program) (*Simulator, error) {
 		ci := local % m.Arch.Clusters
 		cl := s.chips[chip][ci]
 		t := &threadCtx{
-			id:      i,
-			chip:    chip,
-			cluster: cl,
-			fn:      interp.NewThread(0, p, mem),
-			sync:    parallel.NewSync(1),
-			memBase: int64(i) * asidStride,
+			id:         i,
+			chip:       chip,
+			cluster:    cl,
+			fn:         interp.NewThread(0, p, mem),
+			sync:       parallel.NewSync(1),
+			memBase:    int64(i) * asidStride,
+			frontEvent: noEvent,
 		}
 		cl.threads = append(cl.threads, t)
 		s.threads = append(s.threads, t)
@@ -76,6 +77,7 @@ func NewMulti(m config.Machine, progs []*prog.Program) (*Simulator, error) {
 	s.mem = s.mems[0]
 	s.running = len(s.threads)
 	s.EventDriven = true
+	s.EventIssue = true
 	return s, nil
 }
 

@@ -49,6 +49,14 @@ type Simulator struct {
 	// turning it off forces plain cycle-by-cycle stepping.
 	EventDriven bool
 
+	// EventIssue selects the dependence-driven issue stage (wakeup.go):
+	// producer→consumer wakeups through a per-cluster wheel feed a
+	// seq-ordered ready list, replacing the per-cycle full-window scan.
+	// Results are bit-identical either way (guarded by the scan×wakeup
+	// differential matrix); turning it off falls back to the reference
+	// scan. Must be set before Run.
+	EventIssue bool
+
 	// Fast-forward bookkeeping: per-cluster vote scratch, lock spinners
 	// found by the quiescence scan (their per-poll conflict counts are
 	// bulk-replayed), clusters whose fetch is pinned on a full window
@@ -118,17 +126,19 @@ func New(m config.Machine, p *prog.Program) (*Simulator, error) {
 		ci := local % m.Arch.Clusters
 		cl := s.chips[chip][ci]
 		t := &threadCtx{
-			id:      tid,
-			chip:    chip,
-			cluster: cl,
-			fn:      interp.NewThread(tid, p, s.mem),
-			sync:    sync,
+			id:         tid,
+			chip:       chip,
+			cluster:    cl,
+			fn:         interp.NewThread(tid, p, s.mem),
+			sync:       sync,
+			frontEvent: noEvent,
 		}
 		cl.threads = append(cl.threads, t)
 		s.threads = append(s.threads, t)
 	}
 	s.running = len(s.threads)
 	s.EventDriven = true
+	s.EventIssue = true
 	return s, nil
 }
 
@@ -158,7 +168,12 @@ func (s *Simulator) step() bool {
 	var votes stats.Votes
 	for _, cl := range s.clusters {
 		votes.Reset()
-		issued := cl.issue(s, now, &votes)
+		var issued int
+		if s.EventIssue {
+			issued = cl.issueEvent(s, now, &votes)
+		} else {
+			issued = cl.issue(s, now, &votes)
+		}
 		if issued > 0 {
 			active = true
 		}

@@ -1,0 +1,343 @@
+package core
+
+import (
+	"sort"
+
+	"clustersmt/internal/stats"
+)
+
+// This file implements the dependence-driven (wakeup) issue stage that
+// replaces the per-cycle full-window scan. When an entry issues it
+// pushes a wakeup onto each in-flight consumer — the inverse of the
+// entry.producers links — scheduled at its completeAt; a per-cluster
+// time-bucketed wakeup wheel re-evaluates woken entries and moves those
+// whose last producer resolved into a seq-ordered ready list, so
+// issueEvent pops oldest-first from ready entries only instead of
+// re-polling all WindowEntries every cycle. Entries still inside the
+// decode/rename delay sit in a plain FIFO deque (eligibleAt is
+// monotone in fetch order, so no wheel bucket is needed to order
+// them), and unready entries sit in an unsorted waiting set whose
+// memory/data hazard tallies are maintained incrementally — cheap
+// swap-removes instead of sorted-slice memmoves, whose pointer write
+// barriers would dominate the win.
+//
+// The contract is the same as fast-forward's (fastforward.go):
+// bit-identity, not approximation. The hazard votes the scan produced
+// for unready entries are reproduced exactly from the waiting tallies,
+// the issue order (and hence FU assignment and memory-system call
+// order) is the same seq order the window scan walks, and the
+// differential tests in fastforward_test.go assert reflect.DeepEqual
+// on the full Result across scan × wakeup × stepped × fast-forward.
+//
+// Events are at-least-once: an entry with two in-flight producers gets
+// a wakeup from each, and the pending pop races producer completions.
+// evaluate is therefore idempotent — guarded on state, eligibility and
+// current queue membership — and stale events (for entries that issued
+// or committed since being scheduled) fall through the state guard.
+// Window entries come from a bump-allocated arena and are never
+// recycled, so a stale pointer is always safe to inspect.
+
+// entry.queued states: membership in the cluster's issue bookkeeping.
+const (
+	qNone    uint8 = iota // not yet visible to the issue stage
+	qWaiting              // eligible but blocked on an unready producer
+	qReady                // sources resolved; an issue candidate
+)
+
+// wheel is a time-bucketed wakeup wheel: a bucket per pending cycle,
+// with the bucket keys in a hand-rolled int64 min-heap (no
+// container/heap to keep pushes allocation-free) and drained bucket
+// slices recycled through a free list.
+type wheel struct {
+	buckets map[int64][]*entry
+	cycles  []int64    // min-heap of pending bucket keys
+	free    [][]*entry // recycled bucket slices
+}
+
+// push schedules e for re-evaluation at the given cycle.
+func (w *wheel) push(cycle int64, e *entry) {
+	if w.buckets == nil {
+		w.buckets = make(map[int64][]*entry)
+	}
+	b, ok := w.buckets[cycle]
+	if !ok {
+		w.heapPush(cycle)
+		if n := len(w.free); n > 0 {
+			b = w.free[n-1]
+			w.free = w.free[:n-1]
+		}
+	}
+	w.buckets[cycle] = append(b, e)
+}
+
+// min returns the earliest pending bucket cycle, or noEvent when the
+// wheel is empty (the fast-forward next-event bound).
+func (w *wheel) min() int64 {
+	if len(w.cycles) == 0 {
+		return noEvent
+	}
+	return w.cycles[0]
+}
+
+func (w *wheel) heapPush(cy int64) {
+	h := append(w.cycles, cy)
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if h[p] <= h[i] {
+			break
+		}
+		h[p], h[i] = h[i], h[p]
+		i = p
+	}
+	w.cycles = h
+}
+
+func (w *wheel) heapPop() int64 {
+	h := w.cycles
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h = h[:n]
+	i := 0
+	for {
+		l, r, small := 2*i+1, 2*i+2, i
+		if l < n && h[l] < h[small] {
+			small = l
+		}
+		if r < n && h[r] < h[small] {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		h[i], h[small] = h[small], h[i]
+		i = small
+	}
+	w.cycles = h
+	return top
+}
+
+// drainEvents processes every pending entry past its front-end delay
+// and every wheel bucket due by cycle now, re-evaluating each woken
+// entry. Draining is idempotent at a fixed cycle — it is exactly what
+// issueEvent does first — so the fast-forward quiescence probe may
+// drain early without perturbing a subsequent step.
+func (c *cluster) drainEvents(now int64) {
+	// Popped slots are left holding their stale pointers rather than
+	// nil'ed: a nil store is still a barriered pointer write, and the
+	// slots are recycled (append overwrites them), so the anchoring is
+	// bounded by the slices' capacity — entries sever their own producer
+	// links at commit, so nothing transitive hangs off them.
+	for c.pendingHead < len(c.pending) && c.pending[c.pendingHead].eligibleAt <= now {
+		e := c.pending[c.pendingHead]
+		c.pendingHead++
+		c.evaluate(e, now)
+	}
+	if c.pendingHead == len(c.pending) {
+		c.pending = c.pending[:0]
+		c.pendingHead = 0
+	}
+	for len(c.wheel.cycles) > 0 && c.wheel.cycles[0] <= now {
+		cy := c.wheel.heapPop()
+		b := c.wheel.buckets[cy]
+		delete(c.wheel.buckets, cy)
+		for _, x := range b {
+			if x.state == stateDispatched {
+				// A wakeup scheduled for x itself (dispatchEvent saw an
+				// already-issued producer).
+				c.evaluate(x, now)
+				continue
+			}
+			if !x.done(now) {
+				// Stale wakeup for an entry that issued since it was
+				// scheduled; its own completion event (wake) will walk
+				// the consumers.
+				continue
+			}
+			// x's completion: wake its consumer chain. Every consumer
+			// is still dispatched here — it cannot have issued before
+			// x was done, and this walk runs before any issue at the
+			// first cycle that sees x done (fast-forward never skips
+			// past wheel.min()) — so the producer links that select
+			// the next-pointer slot are intact.
+			cur := x.firstCons
+			x.firstCons = nil // chains are walked exactly once
+			for cur != nil {
+				var next *entry
+				if cur.producers[0] == x {
+					next = cur.consNext[0]
+				} else {
+					next = cur.consNext[1]
+				}
+				c.evaluate(cur, now)
+				cur = next
+			}
+		}
+		c.wheel.free = append(c.wheel.free, b[:0])
+	}
+}
+
+// evaluate reclassifies a dispatched entry at cycle now: into ready
+// when every producer has resolved, otherwise into (or within) the
+// waiting state with its memory-vs-data hazard class kept current —
+// the same sourcesReady verdict the scan re-derives per cycle,
+// computed only when an event can have changed it. Waiting entries
+// exist only as the aggregate waitMemN/waitDataN tallies plus per-
+// entry flags (no list: maintaining one costs a pointer write barrier
+// per transition, which is the scan's whole cost re-spent); the rare
+// per-entry walk waitingVotes needs is over the seq-ordered window.
+// Producers never become un-done, so ready is terminal until issue.
+func (c *cluster) evaluate(e *entry, now int64) {
+	if e.state != stateDispatched || now < e.eligibleAt || e.queued == qReady {
+		return
+	}
+	ready, memWait := e.sourcesReady(now)
+	if ready {
+		if e.queued == qWaiting {
+			if e.waitMem {
+				c.waitMemN--
+			} else {
+				c.waitDataN--
+			}
+		}
+		e.queued = qReady
+		c.ready = insertBySeq(c.ready, e)
+		return
+	}
+	if e.queued == qNone {
+		e.queued = qWaiting
+		e.waitMem = memWait
+		if memWait {
+			c.waitMemN++
+		} else {
+			c.waitDataN++
+		}
+		return
+	}
+	// Still waiting, but a completed load producer may have flipped the
+	// hazard class from memory to data (or a remaining load the other
+	// way); keep the incremental tallies exact.
+	if e.waitMem != memWait {
+		if memWait {
+			c.waitDataN--
+			c.waitMemN++
+		} else {
+			c.waitMemN--
+			c.waitDataN++
+		}
+		e.waitMem = memWait
+	}
+}
+
+// insertBySeq inserts e into the seq-sorted ready list. The ready set
+// is small — entries leave it the cycle their FU is free — so a binary
+// search plus short memmove beats a heap's pointer churn.
+func insertBySeq(list []*entry, e *entry) []*entry {
+	i := sort.Search(len(list), func(j int) bool { return list[j].seq > e.seq })
+	list = append(list, nil)
+	copy(list[i+1:], list[i:])
+	list[i] = e
+	return list
+}
+
+// dispatchEvent registers a freshly fetched entry with the wakeup
+// machinery: it subscribes to each in-flight producer — dispatched
+// producers link it onto their intrusive consumer list (walked when
+// their completion event pops), already-issued ones get a wheel wakeup
+// at their completion — and queues the entry on the pending deque,
+// whose pop at eligibleAt is the first cycle the scan path would look
+// at it.
+func (c *cluster) dispatchEvent(e *entry) {
+	for k, p := range e.producers {
+		if p == nil || (k == 1 && e.producers[0] == p) {
+			// Slot 1 duplicating slot 0 (both sources read the same
+			// in-flight result) must link only once.
+			continue
+		}
+		if p.state == stateDispatched {
+			e.consNext[k] = p.firstCons
+			p.firstCons = e
+		} else if p.completeAt > e.eligibleAt {
+			c.wheel.push(p.completeAt, e)
+		}
+		// Producers already done by eligibleAt are covered by the
+		// pending pop below.
+	}
+	c.pending = append(c.pending, e)
+}
+
+// wake fires when e issues: its completion becomes a wheel event — the
+// consumer-chain walk, the fast-forward next-event bound, and the
+// commit-progress signal even when nothing reads the result.
+func (c *cluster) wake(e *entry) {
+	c.wheel.push(e.completeAt, e)
+}
+
+// issueEvent is the wakeup-path issue stage: drain due events, then
+// pop oldest-first from the ready list only. Bit-identical to the
+// reference scan (issue): ready entries are visited in the same seq
+// order the window scan walks, failed attempts vote and retry through
+// tryIssue exactly as the scan's would, and the scan's loop-top break
+// — it stops at the first entry after the width-th issue — becomes a
+// seq cut at the width-th issued entry's seq, applied to the remaining
+// ready entries here and to the waiting tallies in waitingVotes.
+func (c *cluster) issueEvent(s *Simulator, now int64, votes *stats.Votes) int {
+	c.drainEvents(now)
+	issued := 0
+	broke := false
+	var breakSeq uint64
+	kept := c.ready[:0]
+	for i, e := range c.ready {
+		if issued >= c.cfg.IssueWidth {
+			// The scan would not visit these: keep them, no votes.
+			// Writes into kept trail i, so this forward copy is safe.
+			kept = append(kept, c.ready[i:]...)
+			break
+		}
+		if c.tryIssue(s, e, now, votes) {
+			e.queued = qNone
+			issued++
+			if issued >= c.cfg.IssueWidth {
+				broke = true
+				breakSeq = e.seq
+			}
+		} else {
+			kept = append(kept, e)
+		}
+	}
+	c.ready = kept // stale tail slots: same bounded-anchoring story as drainEvents
+	c.waitingVotes(votes, broke, breakSeq)
+	return issued
+}
+
+// waitingVotes adds the hazard votes of the waiting entries the scan
+// would have visited this cycle: all of them — straight from the
+// incremental tallies, the common case — when the issue loop ran to
+// exhaustion, else only those older than the width-th issued entry
+// (seqs are unique, so the cut is exact). The cut walks the window,
+// which is in seq order, so it stops at the break position — issues
+// pop oldest-first, so the prefix before the width-th issued entry is
+// short — and only on width-saturated cycles.
+func (c *cluster) waitingVotes(votes *stats.Votes, broke bool, breakSeq uint64) {
+	if !broke {
+		votes[stats.Memory] += float64(c.waitMemN)
+		votes[stats.Data] += float64(c.waitDataN)
+		return
+	}
+	mem, data := 0, 0
+	for _, e := range c.window {
+		if e.seq >= breakSeq {
+			break
+		}
+		if e.state == stateDispatched && e.queued == qWaiting {
+			if e.waitMem {
+				mem++
+			} else {
+				data++
+			}
+		}
+	}
+	votes[stats.Memory] += float64(mem)
+	votes[stats.Data] += float64(data)
+}
