@@ -1,21 +1,23 @@
 # Tier-1 gate: everything CI requires green.
-check: diff
+check: diff race
 	go build ./...
 	go vet ./...
 	go test ./...
 
 # Differential matrix only: scan × wakeup issue crossed with stepped ×
-# fast-forward cycle loops must agree bit-for-bit on the full Result
-# (reflect.DeepEqual) across every preset. Fast feedback when touching
-# the issue stage or the quiescence skip.
+# fast-forward cycle loops, plus reference × fast memory paths, must
+# agree bit-for-bit on the full Result (reflect.DeepEqual) across every
+# preset. Fast feedback when touching the issue stage, the quiescence
+# skip, or the memory hierarchy.
 diff:
-	go test ./internal/core -run 'TestEventDriven|TestWakeup|TestStoreForwardingMap'
+	go test ./internal/core -run 'TestEventDriven|TestWakeup|TestStoreForwardingMap|TestMemPath'
 
 # Race-check the concurrent harness (suite cache + singleflight).
 race:
 	go test -race ./internal/harness/...
 
-# Regenerate BENCH_core.json (event-driven fast-forward speedup).
+# Regenerate BENCH_core.json (fast-forward, wakeup and memory-path
+# speedups).
 bench:
 	WRITE_BENCH=1 go test -run TestWriteBenchCoreJSON -v .
 

@@ -359,6 +359,115 @@ func BenchmarkCoreWakeup(b *testing.B) {
 	}
 }
 
+// buildMemBound is the memory-path fast paths' motivating workload:
+// thread 0 chases a pointer chain whose 32KB footprint spills L1 (a
+// serial stream of L2/remote misses through the directory), while the
+// other 31 threads stride through a shared 512KB region one line per
+// load — every load opens a new line, so each chip's in-flight misses
+// pin its MSHR file at capacity and rejected loads retry every cycle.
+// On the reference implementations each of those retries pays an
+// O(pending) MSHR map sweep and every directory touch chases a
+// per-line pointer; the fast paths make retirement amortized O(1) and
+// the directory an inline open-addressed table.
+func buildMemBound(iters int64) *clustersmt.Program {
+	b := clustersmt.NewProgram("memstride")
+	b.GlobalWords("nthreads", []uint64{32})
+	const (
+		chainLen    = 4096
+		streamWords = 64 * 1024 // 512KB: past the shrunken 64KB L2
+		regionBytes = streamWords * 8
+	)
+	stream := b.Global("stream", streamWords)
+	chain := b.Global("chain", chainLen)
+	b.Global("out", 1)
+
+	b.Li(1, 1)
+	b.Blt(isa.RegTID, 1, "chase") // thread 0
+
+	// Threads 1..31: strided remote-line streaming, phase-shifted so
+	// each walks its own window of the region. Eight independent loads
+	// per iteration keep many misses in flight.
+	b.Shli(2, isa.RegTID, 14) // phase = tid * 16KB
+	b.Li(3, 0)                // running byte offset
+	b.Li(4, 0)
+	b.Li(5, iters)
+	b.CountedLoop(4, 5, func() {
+		for k := 0; k < 8; k++ {
+			b.Add(6, 3, 2)
+			b.Andi(6, 6, regionBytes-1)
+			b.Ld(7, 6, stream)
+			b.Addi(3, 3, 64)
+		}
+	})
+	b.Jump("join")
+
+	b.Label("chase")
+	b.Li(2, 0)
+	b.Li(3, 0)
+	b.Li(4, 2*iters)
+	b.CountedLoop(3, 4, func() {
+		b.Shli(5, 2, 3)
+		b.Ld(2, 5, chain)
+	})
+	b.St(2, 0, b.MustAddr("out"))
+
+	b.Label("join")
+	b.Barrier(0)
+	b.Halt()
+	p := b.MustBuild()
+	base := p.SymbolAddr("chain")
+	for i := int64(0); i < chainLen; i++ {
+		p.Init[base+i*8] = uint64((i*577 + 1) % chainLen)
+	}
+	return p
+}
+
+// memBoundMachine is the high-end machine with L1/L2 shrunk so the
+// benchmark's footprint is memory-resident (the regime of Figs. 4-8's
+// memory slots) without needing a multi-megabyte image.
+func memBoundMachine() clustersmt.Machine {
+	m := clustersmt.HighEnd(clustersmt.SMT2)
+	m.Mem.L1SizeKB = 8
+	m.Mem.L2SizeKB = 64
+	return m
+}
+
+func runMemBound(reference bool) (*clustersmt.Result, error) {
+	sim, err := clustersmt.NewSimulator(memBoundMachine(), buildMemBound(900))
+	if err != nil {
+		return nil, err
+	}
+	sim.SetReferenceMemPaths(reference)
+	return sim.Run()
+}
+
+// BenchmarkCoreMemory compares the reference memory-path structures
+// (MSHR map sweep, directory pointer map, double-walk L1 probe)
+// against the fast paths on the memory-bound workload (results are
+// bit-identical; see internal/core/memref_test.go). The sim-cycles/s
+// metric is the one recorded in BENCH_core.json.
+func BenchmarkCoreMemory(b *testing.B) {
+	for _, mode := range []struct {
+		name      string
+		reference bool
+	}{
+		{"reference", true},
+		{"fastpath", false},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			var cycles int64
+			for i := 0; i < b.N; i++ {
+				res, err := runMemBound(mode.reference)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cycles += res.Cycles
+			}
+			b.ReportMetric(float64(cycles)/b.Elapsed().Seconds(), "sim-cycles/s")
+		})
+	}
+}
+
 // benchEntry is one BENCH_core.json record. The base/fast rate fields
 // carry entry-specific JSON names (cycle-stepped vs event-driven for
 // the fast-forward entry, scan vs wakeup for the issue-stage entry),
@@ -391,9 +500,9 @@ func bestOf(t *testing.T, reps int, fn func() (*clustersmt.Result, error)) (time
 	return min, cycles
 }
 
-// TestWriteBenchCoreJSON records the fast-forward and wakeup speedups
-// in BENCH_core.json (run via `make bench`; gated so ordinary test runs
-// stay hermetic and fast).
+// TestWriteBenchCoreJSON records the fast-forward, wakeup and
+// memory-path speedups in BENCH_core.json (run via `make bench`; gated
+// so ordinary test runs stay hermetic and fast).
 func TestWriteBenchCoreJSON(t *testing.T) {
 	if os.Getenv("WRITE_BENCH") == "" {
 		t.Skip("set WRITE_BENCH=1 (make bench) to write BENCH_core.json")
@@ -453,16 +562,39 @@ func TestWriteBenchCoreJSON(t *testing.T) {
 		t.Fatalf("wakeup speedup %.2fx below the 1.5x floor", wkReport.Speedup)
 	}
 
-	out, err := json.MarshalIndent([]any{ffReport, wkReport}, "", "  ")
+	// Entry 3: memory-path fast paths on the memory-bound workload.
+	memRef, memCycles := bestOf(t, reps, func() (*clustersmt.Result, error) { return runMemBound(true) })
+	memFast, _ := bestOf(t, reps, func() (*clustersmt.Result, error) { return runMemBound(false) })
+	memReport := struct {
+		benchEntry
+		ReferenceCyclesSec float64 `json:"reference_sim_cycles_per_sec"`
+		FastpathCyclesSec  float64 `json:"fastpath_sim_cycles_per_sec"`
+	}{
+		benchEntry: benchEntry{
+			Benchmark: "BenchmarkCoreMemory",
+			Machine:   memBoundMachine().Name,
+			Workload:  "memstride (31 threads streaming remote lines through saturated MSHRs + 1 L1-spilling pointer chase, shrunken 8KB L1 / 64KB L2)",
+			SimCycles: memCycles,
+			Speedup:   memRef.Seconds() / memFast.Seconds(),
+		},
+		ReferenceCyclesSec: float64(memCycles) / memRef.Seconds(),
+		FastpathCyclesSec:  float64(memCycles) / memFast.Seconds(),
+	}
+	if memReport.Speedup < 1.5 {
+		t.Fatalf("memory fast-path speedup %.2fx below the 1.5x floor", memReport.Speedup)
+	}
+
+	out, err := json.MarshalIndent([]any{ffReport, wkReport, memReport}, "", "  ")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if err := os.WriteFile("BENCH_core.json", append(out, '\n'), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	t.Logf("fast-forward %.2fx (%s stepped, %s event-driven over %d cycles); wakeup %.2fx (%s scan, %s wakeup over %d cycles)",
+	t.Logf("fast-forward %.2fx (%s stepped, %s event-driven over %d cycles); wakeup %.2fx (%s scan, %s wakeup over %d cycles); memory %.2fx (%s reference, %s fastpath over %d cycles)",
 		ffReport.Speedup, ffStepped, ffEvent, ffCycles,
-		wkReport.Speedup, wkScan, wkWakeup, wkCycles)
+		wkReport.Speedup, wkScan, wkWakeup, wkCycles,
+		memReport.Speedup, memRef, memFast, memCycles)
 }
 
 // BenchmarkMultiprogram measures multiprogrammed throughput: eight

@@ -92,10 +92,3 @@ func ilpLabel(chain int) string {
 		return "low"
 	}
 }
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}

@@ -54,12 +54,43 @@ type dirEntry struct {
 	owner   int8   // chip holding Modified, or noOwner
 }
 
+// dirSlot states for the open-addressed table.
+const (
+	slotEmpty uint8 = iota
+	slotFull
+	slotDead // tombstone: deleted, but probe chains pass through
+)
+
+// dirSlot is one inline table entry: the line key, the entry itself
+// (no per-line allocation, no pointer chase), and the slot state.
+type dirSlot struct {
+	line  int64
+	e     dirEntry
+	state uint8
+}
+
+const dirMinSlots = 256
+
 // Directory is the full-map bit-vector directory. Lines are homed by
 // page interleaving across chips.
+//
+// Tracked lines live in an open-addressed linear-probe table with
+// inline entries; entries whose sharer set and owner both empty out are
+// deleted (tombstoned), so Lines() counts exactly the lines some chip
+// caches — the same delete-when-empty semantics the original
+// map[int64]*dirEntry had. That map is kept behind the reference flag
+// as the differential baseline (see System.SetReferencePaths).
 type Directory struct {
 	nchips    int
 	pageBytes int64
-	entries   map[int64]*dirEntry
+
+	ref     bool                // use the reference map representation
+	entries map[int64]*dirEntry // reference representation
+
+	slots     []dirSlot // fast representation; len is a power of two
+	hashShift uint      // 64 - log2(len(slots))
+	live      int       // slots in state slotFull
+	dead      int       // tombstones awaiting the next rehash
 
 	Invalidations uint64 // remote copies invalidated by exclusive fetches
 	Downgrades    uint64 // remote Modified copies demoted by read fetches
@@ -72,7 +103,18 @@ func NewDirectory(nchips int, pageBytes int64) *Directory {
 	if nchips <= 0 || nchips > 32 {
 		panic(fmt.Sprintf("coherence: unsupported chip count %d", nchips))
 	}
-	return &Directory{nchips: nchips, pageBytes: pageBytes, entries: make(map[int64]*dirEntry)}
+	d := &Directory{nchips: nchips, pageBytes: pageBytes, entries: make(map[int64]*dirEntry)}
+	d.initTable(dirMinSlots)
+	return d
+}
+
+func (d *Directory) initTable(n int) {
+	d.slots = make([]dirSlot, n)
+	d.hashShift = 64
+	for ; n > 1; n >>= 1 {
+		d.hashShift--
+	}
+	d.live, d.dead = 0, 0
 }
 
 // Home returns the home chip of a line (page-interleaved, Fig. 3: each
@@ -81,43 +123,149 @@ func (d *Directory) Home(line int64) int {
 	return int((line / d.pageBytes) % int64(d.nchips))
 }
 
-func (d *Directory) entry(line int64) *dirEntry {
-	e := d.entries[line]
-	if e == nil {
-		e = &dirEntry{owner: noOwner}
-		d.entries[line] = e
+// hashIndex spreads line addresses (which share low zero bits and
+// cluster by page) over the table with a Fibonacci multiplicative hash.
+func (d *Directory) hashIndex(line int64) int {
+	return int((uint64(line) * 0x9E3779B97F4A7C15) >> d.hashShift)
+}
+
+// find probes for line. found=true gives the slot holding it; otherwise
+// idx is where an insertion belongs (the first tombstone crossed, or
+// the empty slot ending the chain).
+func (d *Directory) find(line int64) (idx int, found bool) {
+	mask := len(d.slots) - 1
+	i := d.hashIndex(line)
+	firstDead := -1
+	for {
+		s := &d.slots[i]
+		switch s.state {
+		case slotEmpty:
+			if firstDead >= 0 {
+				return firstDead, false
+			}
+			return i, false
+		case slotFull:
+			if s.line == line {
+				return i, true
+			}
+		case slotDead:
+			if firstDead < 0 {
+				firstDead = i
+			}
+		}
+		i = (i + 1) & mask
 	}
-	return e
+}
+
+// grow rehashes into a table sized for the live population, clearing
+// tombstones.
+func (d *Directory) grow() {
+	old := d.slots
+	n := len(old) * 2
+	// If the table is mostly tombstones, rehashing at the same size
+	// reclaims them without doubling.
+	if d.live*4 < len(old) {
+		n = len(old)
+	}
+	d.initTable(n)
+	for i := range old {
+		if old[i].state != slotFull {
+			continue
+		}
+		idx, _ := d.find(old[i].line)
+		d.slots[idx] = old[i]
+		d.live++
+	}
+}
+
+// entry returns the tracked entry for line, creating it if needed.
+// The pointer is stable only until the next entry() call (an insertion
+// may rehash); callers finish with it before touching another line.
+func (d *Directory) entry(line int64) *dirEntry {
+	if d.ref {
+		e := d.entries[line]
+		if e == nil {
+			e = &dirEntry{owner: noOwner}
+			d.entries[line] = e
+		}
+		return e
+	}
+	idx, found := d.find(line)
+	if !found {
+		if (d.live+d.dead)*4 >= len(d.slots)*3 {
+			d.grow()
+			idx, _ = d.find(line)
+		}
+		s := &d.slots[idx]
+		if s.state == slotDead {
+			d.dead--
+		}
+		*s = dirSlot{line: line, e: dirEntry{owner: noOwner}, state: slotFull}
+		d.live++
+		return &s.e
+	}
+	return &d.slots[idx].e
 }
 
 // DropSharer records that chip no longer caches line (eviction). If the
 // chip owned the line dirty, the eviction is a writeback.
 func (d *Directory) DropSharer(chip int, line int64) {
-	e := d.entries[line]
-	if e == nil {
+	if d.ref {
+		e := d.entries[line]
+		if e == nil {
+			return
+		}
+		e.sharers &^= 1 << uint(chip)
+		if int(e.owner) == chip {
+			e.owner = noOwner
+			d.Writebacks++
+		}
+		if e.sharers == 0 && e.owner == noOwner {
+			delete(d.entries, line)
+		}
 		return
 	}
+	idx, found := d.find(line)
+	if !found {
+		return
+	}
+	e := &d.slots[idx].e
 	e.sharers &^= 1 << uint(chip)
 	if int(e.owner) == chip {
 		e.owner = noOwner
 		d.Writebacks++
 	}
 	if e.sharers == 0 && e.owner == noOwner {
-		delete(d.entries, line)
+		d.slots[idx].state = slotDead
+		d.live--
+		d.dead++
 	}
 }
 
 // Sharers returns the sharer set and owner of a line (testing aid).
 func (d *Directory) Sharers(line int64) (mask uint32, owner int) {
-	e := d.entries[line]
-	if e == nil {
+	if d.ref {
+		e := d.entries[line]
+		if e == nil {
+			return 0, noOwner
+		}
+		return e.sharers, int(e.owner)
+	}
+	idx, found := d.find(line)
+	if !found {
 		return 0, noOwner
 	}
+	e := &d.slots[idx].e
 	return e.sharers, int(e.owner)
 }
 
 // Lines returns the number of tracked lines (testing aid).
-func (d *Directory) Lines() int { return len(d.entries) }
+func (d *Directory) Lines() int {
+	if d.ref {
+		return len(d.entries)
+	}
+	return d.live
+}
 
 // Stats aggregates machine-wide memory statistics.
 type Stats struct {
@@ -142,6 +290,10 @@ type System struct {
 	Dir   *Directory
 	Net   *interconnect.Network
 	Stats Stats
+
+	// refPaths selects the pre-optimization load path (separate L1
+	// probe and lookup walks); set via SetReferencePaths.
+	refPaths bool
 }
 
 // NewSystem builds the memory system for nchips identical chips.
@@ -158,7 +310,20 @@ func NewSystem(nchips int, cfg config.MemConfig) *System {
 	}
 }
 
-func (s *System) lineBytes() int64 { return int64(s.Cfg.LineBytes) }
+// SetReferencePaths selects (on=true) the pre-optimization reference
+// implementations of every per-access structure on the Load/Store
+// path: the MSHR map-sweep retirement, the directory's
+// map-of-pointers representation, and the probe-then-lookup double
+// walk in Load. Results are bit-identical either way (guarded by
+// TestMemPathDifferential); the reference exists as the differential
+// baseline and escape hatch. Must be called before any traffic.
+func (s *System) SetReferencePaths(on bool) {
+	s.refPaths = on
+	s.Dir.ref = on
+	for _, c := range s.Chips {
+		c.MSHR.Reference = on
+	}
+}
 
 // translate applies the TLB; it returns the earliest cycle the access
 // can proceed (after any miss penalty).
@@ -175,13 +340,21 @@ func (s *System) translate(now int64, c *memsys.Chip, addr int64) int64 {
 // cycle the data is available and the access class. ok=false means the
 // MSHR file was full and the load must retry on a later cycle (no state
 // was disturbed).
+//
+// The L1 set is walked once: FindWay answers the early MSHR gate, and
+// on a hit TouchHit replays the LRU/stat effects of the lookup the
+// reference path performs separately.
 func (s *System) Load(now int64, chip int, addr int64) (ready int64, cls AccessClass, ok bool) {
+	if s.refPaths {
+		return s.loadRef(now, chip, addr)
+	}
 	c := s.Chips[chip]
 	line := c.Line(addr)
 
 	// Refuse early (before disturbing banks/stats) if this would need a
 	// new MSHR and none is free.
-	if c.L1.Probe(line) == memsys.Invalid {
+	wi := c.L1.FindWay(line)
+	if wi < 0 {
 		if _, merging := c.MSHR.Pending(now, line); !merging && c.MSHR.Free(now) == 0 {
 			s.Stats.LoadRetries++
 			return 0, 0, false
@@ -193,26 +366,28 @@ func (s *System) Load(now int64, chip int, addr int64) (ready int64, cls AccessC
 
 	// Merge with an in-flight fill for the same line.
 	if fill, merging := c.MSHR.Pending(t, line); merging {
-		ready = maxi64(fill, t+int64(s.Cfg.L1Latency))
+		ready = max(fill, t+int64(s.Cfg.L1Latency))
 		s.Stats.ByClass[MSHRMerge]++
 		s.Stats.LatencyByClass[MSHRMerge] += uint64(ready - now)
 		return ready, MSHRMerge, true
 	}
 
-	start := c.L1Banks.Acquire(t, line, s.lineBytes())
-	if st := c.L1.Lookup(line); st != memsys.Invalid {
+	start := c.L1Banks.Acquire(t, line)
+	if wi >= 0 {
+		c.L1.TouchHit(wi)
 		ready = start + int64(s.Cfg.L1Latency)
 		s.Stats.ByClass[L1Hit]++
 		s.Stats.LatencyByClass[L1Hit] += uint64(ready - now)
 		return ready, L1Hit, true
 	}
+	c.L1.TouchMiss()
 
 	// L1 miss: L2 access.
-	s2 := c.L2Banks.Acquire(start+int64(s.Cfg.L1Latency), line, s.lineBytes())
+	s2 := c.L2Banks.Acquire(start+int64(s.Cfg.L1Latency), line)
 	if st := c.L2.Lookup(line); st != memsys.Invalid {
 		ready = s2 + int64(s.Cfg.L2Latency)
 		c.L1.Insert(line, st)
-		c.L1Banks.Extend(line, s.lineBytes(), s.Cfg.FillTime)
+		c.L1Banks.Extend(line, s.Cfg.FillTime)
 		mustAlloc(c.MSHR, s2, line, ready)
 		s.Stats.ByClass[L2Hit]++
 		s.Stats.LatencyByClass[L2Hit] += uint64(ready - now)
@@ -220,6 +395,57 @@ func (s *System) Load(now int64, chip int, addr int64) (ready int64, cls AccessC
 	}
 
 	// L2 miss: directory fetch, shared.
+	ready, cls = s.fetch(chip, line, s2, false)
+	s.install(chip, line, memsys.Shared)
+	mustAlloc(c.MSHR, s2, line, ready)
+	s.Stats.ByClass[cls]++
+	s.Stats.LatencyByClass[cls] += uint64(ready - now)
+	return ready, cls, true
+}
+
+// loadRef is the pre-optimization Load: a Probe for the MSHR gate
+// followed by a full Lookup — two set walks on the L1-hit path. Kept
+// verbatim as the differential baseline.
+func (s *System) loadRef(now int64, chip int, addr int64) (ready int64, cls AccessClass, ok bool) {
+	c := s.Chips[chip]
+	line := c.Line(addr)
+
+	if c.L1.Probe(line) == memsys.Invalid {
+		if _, merging := c.MSHR.Pending(now, line); !merging && c.MSHR.Free(now) == 0 {
+			s.Stats.LoadRetries++
+			return 0, 0, false
+		}
+	}
+
+	s.Stats.Loads++
+	t := s.translate(now, c, addr)
+
+	if fill, merging := c.MSHR.Pending(t, line); merging {
+		ready = max(fill, t+int64(s.Cfg.L1Latency))
+		s.Stats.ByClass[MSHRMerge]++
+		s.Stats.LatencyByClass[MSHRMerge] += uint64(ready - now)
+		return ready, MSHRMerge, true
+	}
+
+	start := c.L1Banks.Acquire(t, line)
+	if st := c.L1.Lookup(line); st != memsys.Invalid {
+		ready = start + int64(s.Cfg.L1Latency)
+		s.Stats.ByClass[L1Hit]++
+		s.Stats.LatencyByClass[L1Hit] += uint64(ready - now)
+		return ready, L1Hit, true
+	}
+
+	s2 := c.L2Banks.Acquire(start+int64(s.Cfg.L1Latency), line)
+	if st := c.L2.Lookup(line); st != memsys.Invalid {
+		ready = s2 + int64(s.Cfg.L2Latency)
+		c.L1.Insert(line, st)
+		c.L1Banks.Extend(line, s.Cfg.FillTime)
+		mustAlloc(c.MSHR, s2, line, ready)
+		s.Stats.ByClass[L2Hit]++
+		s.Stats.LatencyByClass[L2Hit] += uint64(ready - now)
+		return ready, L2Hit, true
+	}
+
 	ready, cls = s.fetch(chip, line, s2, false)
 	s.install(chip, line, memsys.Shared)
 	mustAlloc(c.MSHR, s2, line, ready)
@@ -237,7 +463,7 @@ func (s *System) Store(now int64, chip int, addr int64) {
 	line := c.Line(addr)
 	s.Stats.Stores++
 	t := s.translate(now, c, addr)
-	start := c.L1Banks.Acquire(t, line, s.lineBytes())
+	start := c.L1Banks.Acquire(t, line)
 
 	switch c.L1.Lookup(line) {
 	case memsys.Modified:
@@ -251,7 +477,7 @@ func (s *System) Store(now int64, chip int, addr int64) {
 	}
 
 	// L1 miss: try L2.
-	s2 := c.L2Banks.Acquire(start+int64(s.Cfg.L1Latency), line, s.lineBytes())
+	s2 := c.L2Banks.Acquire(start+int64(s.Cfg.L1Latency), line)
 	switch c.L2.Lookup(line) {
 	case memsys.Modified:
 		c.MarkModified(line) // refills L1
@@ -278,8 +504,8 @@ func (s *System) install(chip int, line int64, st memsys.LineState) {
 	if res.L2Victim.Evicted {
 		s.Dir.DropSharer(chip, res.L2Victim.Line)
 	}
-	c.L1Banks.Extend(line, s.lineBytes(), s.Cfg.FillTime)
-	c.L2Banks.Extend(line, s.lineBytes(), s.Cfg.FillTime)
+	c.L1Banks.Extend(line, s.Cfg.FillTime)
+	c.L2Banks.Extend(line, s.Cfg.FillTime)
 }
 
 // upgrade invalidates every other sharer of a line the chip already
@@ -360,11 +586,4 @@ func mustAlloc(m *memsys.MSHRFile, now, line, ready int64) {
 	if !m.TryAlloc(now, line, ready) {
 		panic("coherence: MSHR allocation failed after availability check")
 	}
-}
-
-func maxi64(a, b int64) int64 {
-	if a > b {
-		return a
-	}
-	return b
 }

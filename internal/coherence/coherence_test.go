@@ -342,3 +342,86 @@ func TestTLBMissPenaltyApplied(t *testing.T) {
 		t.Fatalf("warm-TLB load charged a penalty: %d", ready2)
 	}
 }
+
+// Property (directory representation differential): random
+// interleavings of entry installs (a chip starts caching a line) and
+// DropSharer evictions drive the reference map-of-pointers and the
+// open-addressed inline table through identical states: same Lines()
+// count, same sharer mask and owner for every touched line, same
+// Writebacks — including the delete-when-empty reclamation.
+func TestDirectoryMapTableDifferential(t *testing.T) {
+	f := func(ops []uint16) bool {
+		ref := NewDirectory(4, 4096)
+		ref.ref = true
+		tab := NewDirectory(4, 4096)
+		touched := map[int64]bool{}
+		for _, op := range ops {
+			chip := int(op>>2) % 4
+			line := int64(op%128) * 64
+			touched[line] = true
+			if op%3 != 0 {
+				// Install: chip begins caching line; odd ops take
+				// dirty ownership like an exclusive fetch.
+				for _, d := range []*Directory{ref, tab} {
+					e := d.entry(line)
+					e.sharers |= 1 << uint(chip)
+					if op%2 == 1 {
+						e.sharers = 1 << uint(chip)
+						e.owner = int8(chip)
+					}
+				}
+			} else {
+				ref.DropSharer(chip, line)
+				tab.DropSharer(chip, line)
+			}
+			if ref.Lines() != tab.Lines() || ref.Writebacks != tab.Writebacks {
+				return false
+			}
+		}
+		for line := range touched {
+			m1, o1 := ref.Sharers(line)
+			m2, o2 := tab.Sharers(line)
+			if m1 != m2 || o1 != o2 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDirectoryTableGrowth drives the table through enough distinct
+// lines to force several rehashes (growth and tombstone reclamation)
+// and checks every entry survives with its state intact.
+func TestDirectoryTableGrowth(t *testing.T) {
+	d := NewDirectory(4, 4096)
+	const n = 4096
+	for i := int64(0); i < n; i++ {
+		e := d.entry(i * 64)
+		e.sharers = 1 << uint(i%4)
+	}
+	if d.Lines() != n {
+		t.Fatalf("lines = %d, want %d", d.Lines(), n)
+	}
+	// Drop every other line (tombstones), then re-add new lines to
+	// force reclamation rehashes.
+	for i := int64(0); i < n; i += 2 {
+		d.DropSharer(int(i%4), i*64)
+	}
+	if d.Lines() != n/2 {
+		t.Fatalf("lines after drops = %d, want %d", d.Lines(), n/2)
+	}
+	for i := int64(n); i < n+n/2; i++ {
+		d.entry(i * 64).sharers = 1
+	}
+	for i := int64(1); i < n; i += 2 {
+		if mask, _ := d.Sharers(i * 64); mask != 1<<uint(i%4) {
+			t.Fatalf("line %d: mask = %b", i*64, mask)
+		}
+	}
+	if d.Lines() != n/2+n/2 {
+		t.Fatalf("lines after re-adds = %d", d.Lines())
+	}
+}

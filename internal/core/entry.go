@@ -139,4 +139,3 @@ func (e *entry) sourcesReady(now int64) (ready, memWait bool) {
 	}
 	return ready, memWait
 }
-

@@ -1,0 +1,85 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"clustersmt/internal/config"
+	"clustersmt/internal/prog"
+	"clustersmt/internal/workloads"
+)
+
+// memSideStats collects the memory-path counters that are NOT part of
+// Result — the per-chip MSHR and cache stats plus the directory's
+// tracked-line count — so the differential covers them too (the
+// tentpole contract is that Merges/Rejected/Allocated and every cache
+// counter stay exact, not just the Result-visible aggregates).
+type memSideStats struct {
+	MSHR     [][3]uint64 // per chip: Merges, Rejected, Allocated
+	L1, L2   [][4]uint64 // per chip: Hits, Misses, Evictions, WritebackEvictions
+	DirLines int
+}
+
+// runMemMode runs one (machine, program) pair with either the
+// reference or the fast memory-path implementations (event-driven
+// cycle loop and issue stage at their defaults) and returns the Result
+// plus the side stats.
+func runMemMode(t *testing.T, m config.Machine, build func() *prog.Program, reference bool) (*Result, memSideStats) {
+	t.Helper()
+	s, err := New(m, build())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetReferenceMemPaths(reference)
+	r, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var side memSideStats
+	for _, c := range s.msys.Chips {
+		side.MSHR = append(side.MSHR, [3]uint64{c.MSHR.Merges, c.MSHR.Rejected, c.MSHR.Allocated})
+		side.L1 = append(side.L1, [4]uint64{c.L1.Hits, c.L1.Misses, c.L1.Evictions, c.L1.WritebackEvictions})
+		side.L2 = append(side.L2, [4]uint64{c.L2.Hits, c.L2.Misses, c.L2.Evictions, c.L2.WritebackEvictions})
+	}
+	side.DirLines = s.msys.Dir.Lines()
+	return r, side
+}
+
+// TestMemPathDifferential is the contract test for the memory-path
+// fast paths (heap-retired MSHRs, open-addressed directory table,
+// single-walk L1 access): on every Table 2 preset, low- and high-end,
+// over a memory-bound and a sync-bound workload, the fast paths must
+// produce a Result that is bit-identical (reflect.DeepEqual — same
+// cycles, same float64 slot votes, every memory and directory counter)
+// to the reference implementations, and the off-Result MSHR, cache and
+// directory counters must match exactly as well.
+func TestMemPathDifferential(t *testing.T) {
+	apps := []string{"ocean", "fmm"}
+	for _, arch := range config.AllArchs {
+		for _, app := range apps {
+			w, err := workloads.ByName(app)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, highEnd := range []bool{false, true} {
+				m := config.LowEnd(arch)
+				if highEnd {
+					m = config.HighEnd(arch)
+				}
+				t.Run(app+"/"+m.Name, func(t *testing.T) {
+					build := func() *prog.Program {
+						return w.Build(m.Threads(), m.Chips, workloads.SizeTest)
+					}
+					ref, refSide := runMemMode(t, m, build, true)
+					fast, fastSide := runMemMode(t, m, build, false)
+					if !reflect.DeepEqual(ref, fast) {
+						t.Errorf("fast-path Result differs from reference:\n  ref:  %v\n  fast: %v", ref, fast)
+					}
+					if !reflect.DeepEqual(refSide, fastSide) {
+						t.Errorf("fast-path side stats differ from reference:\n  ref:  %+v\n  fast: %+v", refSide, fastSide)
+					}
+				})
+			}
+		}
+	}
+}

@@ -142,6 +142,17 @@ func New(m config.Machine, p *prog.Program) (*Simulator, error) {
 	return s, nil
 }
 
+// SetReferenceMemPaths selects (on=true) the pre-optimization
+// reference implementations of the per-access memory-path structures —
+// MSHR map-sweep retirement, directory map-of-pointers, and the
+// probe-then-lookup double walk on loads. Results are bit-identical
+// either way (guarded by TestMemPathDifferential); the reference is
+// the differential baseline and the escape hatch. Must be called
+// before Run.
+func (s *Simulator) SetReferenceMemPaths(on bool) {
+	s.msys.SetReferencePaths(on)
+}
+
 // Mem exposes the functional memory (post-run inspection in tests).
 func (s *Simulator) Mem() *interp.Memory { return s.mem }
 

@@ -22,11 +22,16 @@ const (
 // design (see DESIGN.md).
 type Memory struct {
 	pages map[int64]*[pageWords]uint64
+
+	// Last-touched page, so sequential and strided access streams skip
+	// the paged-map lookup entirely.
+	lastPN int64
+	lastPG *[pageWords]uint64
 }
 
 // NewMemory returns an empty address space.
 func NewMemory() *Memory {
-	return &Memory{pages: make(map[int64]*[pageWords]uint64)}
+	return &Memory{pages: make(map[int64]*[pageWords]uint64), lastPN: -1}
 }
 
 // LoadImage installs a program's initial data segment.
@@ -38,10 +43,16 @@ func (m *Memory) LoadImage(p *prog.Program) {
 
 func (m *Memory) page(addr int64, create bool) *[pageWords]uint64 {
 	pn := addr >> pageShift
+	if pn == m.lastPN {
+		return m.lastPG
+	}
 	pg := m.pages[pn]
 	if pg == nil && create {
 		pg = new([pageWords]uint64)
 		m.pages[pn] = pg
+	}
+	if pg != nil {
+		m.lastPN, m.lastPG = pn, pg
 	}
 	return pg
 }

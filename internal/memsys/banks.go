@@ -3,10 +3,15 @@ package memsys
 // BankSet models contention on a banked structure: each bank has a
 // next-free cycle, and every access occupies its bank for a fixed
 // number of cycles (Table 3: read/write occupancy 1; fills occupy for
-// the 8-cycle fill time).
+// the 8-cycle fill time). The line size is fixed at construction so the
+// line→bank map is a shift plus — when the bank count is a power of
+// two — a mask; Table 3's seven banks keep the modulo fallback.
 type BankSet struct {
 	free      []int64
 	occupancy int64
+	lineShift uint  // log2(lineBytes)
+	bankMask  int64 // len(free)-1 when a power of two, else -1
+	nbanks    int64
 
 	// Conflicts counts accesses that had to wait for a busy bank.
 	Conflicts uint64
@@ -14,26 +19,41 @@ type BankSet struct {
 	BusyCycles uint64
 }
 
-// NewBankSet returns n banks with the given per-access occupancy.
-func NewBankSet(n, occupancy int) *BankSet {
+// NewBankSet returns n banks with the given per-access occupancy,
+// interleaved at lineBytes granularity (must be a power of two).
+func NewBankSet(n, occupancy, lineBytes int) *BankSet {
 	if n <= 0 || occupancy <= 0 {
 		panic("memsys: bank set needs positive banks and occupancy")
 	}
-	return &BankSet{free: make([]int64, n), occupancy: int64(occupancy)}
+	b := &BankSet{
+		free:      make([]int64, n),
+		occupancy: int64(occupancy),
+		lineShift: log2OfPow2("bank interleave", int64(lineBytes)),
+		bankMask:  -1,
+		nbanks:    int64(n),
+	}
+	if n&(n-1) == 0 {
+		b.bankMask = int64(n - 1)
+	}
+	return b
 }
 
 // Banks returns the number of banks.
 func (b *BankSet) Banks() int { return len(b.free) }
 
 // bankFor maps a line address onto a bank (line interleaving).
-func (b *BankSet) bankFor(line, lineBytes int64) int {
-	return int((line / lineBytes) % int64(len(b.free)))
+func (b *BankSet) bankFor(line int64) int {
+	idx := line >> b.lineShift
+	if b.bankMask >= 0 {
+		return int(idx & b.bankMask)
+	}
+	return int(idx % b.nbanks)
 }
 
 // Acquire reserves the bank serving line starting no earlier than now
 // and returns the cycle at which service actually begins.
-func (b *BankSet) Acquire(now, line, lineBytes int64) int64 {
-	i := b.bankFor(line, lineBytes)
+func (b *BankSet) Acquire(now, line int64) int64 {
+	i := b.bankFor(line)
 	start := now
 	if b.free[i] > start {
 		b.Conflicts++
@@ -50,6 +70,6 @@ func (b *BankSet) Acquire(now, line, lineBytes int64) int64 {
 // charged adjacent to the triggering access rather than at the exact
 // fill-return cycle; total bank occupancy per miss is preserved, which
 // is what drives the contention the paper models.)
-func (b *BankSet) Extend(line, lineBytes int64, extra int) {
-	b.free[b.bankFor(line, lineBytes)] += int64(extra)
+func (b *BankSet) Extend(line int64, extra int) {
+	b.free[b.bankFor(line)] += int64(extra)
 }

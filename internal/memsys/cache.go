@@ -39,34 +39,61 @@ type way struct {
 }
 
 // Cache is a set-associative tag array. Addresses passed in must be
-// line-aligned ("line addresses").
+// line-aligned ("line addresses"). Geometries are powers of two so set
+// selection is a shift and a mask (enforced at construction).
 type Cache struct {
 	name      string
 	sets      int
 	assoc     int
 	lineBytes int64
+	lineShift uint  // log2(lineBytes)
+	setMask   int64 // sets - 1
 	ways      []way // sets*assoc, row-major by set
-	tick      uint64
+	// mru holds, per set, the way index last hit or filled — checked
+	// first on every lookup so repeated touches of the same line skip
+	// the set walk. Purely a hint: a stale value only costs the walk.
+	mru  []int32
+	tick uint64
 
 	// Stats.
 	Hits, Misses, Evictions, WritebackEvictions uint64
 }
 
+// log2OfPow2 returns log2(v), panicking unless v is a positive power
+// of two.
+func log2OfPow2(what string, v int64) uint {
+	if v <= 0 || v&(v-1) != 0 {
+		panic(fmt.Sprintf("memsys: %s must be a positive power of two, got %d", what, v))
+	}
+	n := uint(0)
+	for v > 1 {
+		v >>= 1
+		n++
+	}
+	return n
+}
+
 // NewCache builds a cache with the given geometry. sizeKB must divide
-// evenly into sets of assoc lines.
+// evenly into sets of assoc lines, and both the line size and the
+// resulting set count must be powers of two.
 func NewCache(name string, sizeKB, lineBytes, assoc int) *Cache {
 	lines := sizeKB * 1024 / lineBytes
 	if lines%assoc != 0 {
 		panic(fmt.Sprintf("memsys: %s: %dKB/%dB/%d-way does not form whole sets", name, sizeKB, lineBytes, assoc))
 	}
 	sets := lines / assoc
-	return &Cache{
+	c := &Cache{
 		name:      name,
 		sets:      sets,
 		assoc:     assoc,
 		lineBytes: int64(lineBytes),
+		lineShift: log2OfPow2(name+" line size", int64(lineBytes)),
+		setMask:   int64(sets - 1),
 		ways:      make([]way, sets*assoc),
+		mru:       make([]int32, sets),
 	}
+	log2OfPow2(name+" set count", int64(sets))
+	return c
 }
 
 // Sets returns the number of sets (diagnostics).
@@ -78,8 +105,13 @@ func (c *Cache) LineBytes() int64 { return c.lineBytes }
 // LineAddr converts a byte address to its line address.
 func (c *Cache) LineAddr(addr int64) int64 { return addr &^ (c.lineBytes - 1) }
 
+// setIndex returns the set number holding line.
+func (c *Cache) setIndex(line int64) int {
+	return int((line >> c.lineShift) & c.setMask)
+}
+
 func (c *Cache) set(line int64) []way {
-	s := int((line / c.lineBytes) % int64(c.sets))
+	s := c.setIndex(line)
 	return c.ways[s*c.assoc : (s+1)*c.assoc]
 }
 
@@ -87,11 +119,19 @@ func (c *Cache) set(line int64) []way {
 // LRU on hit.
 func (c *Cache) Lookup(line int64) LineState {
 	c.tick++
-	set := c.set(line)
+	si := c.setIndex(line)
+	base := si * c.assoc
+	if w := &c.ways[base+int(c.mru[si])]; w.state != Invalid && w.line == line {
+		w.lru = c.tick
+		c.Hits++
+		return w.state
+	}
+	set := c.ways[base : base+c.assoc]
 	for i := range set {
 		w := &set[i]
 		if w.state != Invalid && w.line == line {
 			w.lru = c.tick
+			c.mru[si] = int32(i)
 			c.Hits++
 			return w.state
 		}
@@ -100,10 +140,51 @@ func (c *Cache) Lookup(line int64) LineState {
 	return Invalid
 }
 
+// FindWay returns the absolute way-array index holding line, or -1 —
+// without touching stats, LRU or the MRU hint. Together with TouchHit /
+// TouchMiss it lets a caller that needs an early residence check (the
+// load path's MSHR gate) walk the set once instead of probing and then
+// looking up.
+func (c *Cache) FindWay(line int64) int {
+	si := c.setIndex(line)
+	base := si * c.assoc
+	if w := &c.ways[base+int(c.mru[si])]; w.state != Invalid && w.line == line {
+		return base + int(c.mru[si])
+	}
+	set := c.ways[base : base+c.assoc]
+	for i := range set {
+		w := &set[i]
+		if w.state != Invalid && w.line == line {
+			return base + i
+		}
+	}
+	return -1
+}
+
+// TouchHit replays exactly what Lookup does on a hit at the way index
+// returned by FindWay: one tick, the LRU update and the Hits count. The
+// cache must not have been mutated since the FindWay call.
+func (c *Cache) TouchHit(wi int) LineState {
+	c.tick++
+	w := &c.ways[wi]
+	w.lru = c.tick
+	c.mru[wi/c.assoc] = int32(wi % c.assoc)
+	c.Hits++
+	return w.state
+}
+
+// TouchMiss replays what Lookup does on a miss: one tick and the Misses
+// count.
+func (c *Cache) TouchMiss() {
+	c.tick++
+	c.Misses++
+}
+
 // Probe returns the state of line without touching LRU or stats.
 func (c *Cache) Probe(line int64) LineState {
-	for i := range c.set(line) {
-		w := &c.set(line)[i]
+	set := c.set(line)
+	for i := range set {
+		w := &set[i]
 		if w.state != Invalid && w.line == line {
 			return w.state
 		}
@@ -114,13 +195,10 @@ func (c *Cache) Probe(line int64) LineState {
 // SetState changes the state of a resident line; it is a no-op if the
 // line is not resident. Setting Invalid invalidates.
 func (c *Cache) SetState(line int64, st LineState) {
-	for i := range c.set(line) {
-		w := &c.set(line)[i]
+	set := c.set(line)
+	for i := range set {
+		w := &set[i]
 		if w.state != Invalid && w.line == line {
-			if st == Invalid {
-				w.state = Invalid
-				return
-			}
 			w.state = st
 			return
 		}
@@ -139,13 +217,15 @@ type Victim struct {
 // place (no eviction).
 func (c *Cache) Insert(line int64, st LineState) Victim {
 	c.tick++
-	set := c.set(line)
+	si := c.setIndex(line)
+	set := c.ways[si*c.assoc : (si+1)*c.assoc]
 	var free, lruIdx = -1, 0
 	for i := range set {
 		w := &set[i]
 		if w.state != Invalid && w.line == line {
 			w.state = st
 			w.lru = c.tick
+			c.mru[si] = int32(i)
 			return Victim{}
 		}
 		if w.state == Invalid {
@@ -156,6 +236,7 @@ func (c *Cache) Insert(line int64, st LineState) Victim {
 	}
 	if free >= 0 {
 		set[free] = way{line: line, state: st, lru: c.tick}
+		c.mru[si] = int32(free)
 		return Victim{}
 	}
 	v := Victim{Line: set[lruIdx].line, State: set[lruIdx].state, Evicted: true}
@@ -164,6 +245,7 @@ func (c *Cache) Insert(line int64, st LineState) Victim {
 		c.WritebackEvictions++
 	}
 	set[lruIdx] = way{line: line, state: st, lru: c.tick}
+	c.mru[si] = int32(lruIdx)
 	return v
 }
 

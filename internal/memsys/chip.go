@@ -30,8 +30,8 @@ func NewChip(id int, cfg config.MemConfig) *Chip {
 		Cfg:     cfg,
 		L1:      NewCache("L1", cfg.L1SizeKB, cfg.LineBytes, cfg.L1Assoc),
 		L2:      NewCache("L2", cfg.L2SizeKB, cfg.LineBytes, cfg.L2Assoc),
-		L1Banks: NewBankSet(cfg.L1Banks, cfg.Occupancy),
-		L2Banks: NewBankSet(cfg.L2Banks, cfg.Occupancy),
+		L1Banks: NewBankSet(cfg.L1Banks, cfg.Occupancy, cfg.LineBytes),
+		L2Banks: NewBankSet(cfg.L2Banks, cfg.Occupancy, cfg.LineBytes),
 		TLB:     NewTLB(cfg.TLBEntries, uint64(id+1)*0x2545F4914F6CDD1D),
 		MSHR:    NewMSHRFile(cfg.MSHRs),
 	}

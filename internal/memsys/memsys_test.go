@@ -126,10 +126,10 @@ func TestCacheInvariants(t *testing.T) {
 }
 
 func TestBankSetContention(t *testing.T) {
-	b := NewBankSet(2, 1)
-	s1 := b.Acquire(10, 0, 64)   // bank 0
-	s2 := b.Acquire(10, 64, 64)  // bank 1: no conflict
-	s3 := b.Acquire(10, 128, 64) // bank 0 again: conflicts
+	b := NewBankSet(2, 1, 64)
+	s1 := b.Acquire(10, 0)   // bank 0
+	s2 := b.Acquire(10, 64)  // bank 1: no conflict
+	s3 := b.Acquire(10, 128) // bank 0 again: conflicts
 	if s1 != 10 || s2 != 10 {
 		t.Fatalf("starts = %d,%d, want 10,10", s1, s2)
 	}
@@ -142,13 +142,13 @@ func TestBankSetContention(t *testing.T) {
 }
 
 func TestBankSetExtend(t *testing.T) {
-	b := NewBankSet(1, 1)
-	s1 := b.Acquire(100, 0, 64) // bank free at 101
-	b.Extend(0, 64, 8)          // fill occupancy: free at 109
+	b := NewBankSet(1, 1, 64)
+	s1 := b.Acquire(100, 0) // bank free at 101
+	b.Extend(0, 8)          // fill occupancy: free at 109
 	if s1 != 100 {
 		t.Fatalf("first start = %d", s1)
 	}
-	if s := b.Acquire(100, 0, 64); s != 109 {
+	if s := b.Acquire(100, 0); s != 109 {
 		t.Fatalf("start after extend = %d, want 109", s)
 	}
 }
@@ -281,5 +281,120 @@ func TestChipDowngradeAndInvalidate(t *testing.T) {
 	c.Invalidate(64)
 	if c.State(64) != Invalid {
 		t.Fatal("invalidate failed")
+	}
+}
+
+// Property (stat conservation): every Lookup counts exactly one hit or
+// one miss, and writeback evictions are a subset of evictions, under
+// arbitrary interleavings of lookups, inserts and invalidations.
+func TestCacheStatConservation(t *testing.T) {
+	f := func(ops []uint16) bool {
+		c := NewCache("t", 1, 64, 2)
+		lookups := uint64(0)
+		for _, op := range ops {
+			line := int64(op%64) * 64
+			switch op % 4 {
+			case 0:
+				c.Lookup(line)
+				lookups++
+			case 1:
+				c.Insert(line, Shared)
+			case 2:
+				c.Insert(line, Modified)
+			case 3:
+				c.SetState(line, Invalid)
+			}
+		}
+		return c.Hits+c.Misses == lookups && c.Evictions >= c.WritebackEvictions
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property (single-walk equivalence): driving one cache through
+// FindWay+TouchHit/TouchMiss — the load path's single set walk — and a
+// twin through plain Lookup leaves both with identical stats and
+// identical tag/LRU contents under random access streams.
+func TestCacheSingleWalkDifferential(t *testing.T) {
+	f := func(ops []uint16) bool {
+		ref := NewCache("ref", 1, 64, 2)
+		fast := NewCache("fast", 1, 64, 2)
+		for _, op := range ops {
+			line := int64(op%64) * 64
+			if op%3 == 0 {
+				ref.Insert(line, Shared)
+				fast.Insert(line, Shared)
+				continue
+			}
+			refSt := ref.Lookup(line)
+			var fastSt LineState
+			if wi := fast.FindWay(line); wi >= 0 {
+				fastSt = fast.TouchHit(wi)
+			} else {
+				fast.TouchMiss()
+				fastSt = Invalid
+			}
+			if refSt != fastSt {
+				return false
+			}
+		}
+		if ref.Hits != fast.Hits || ref.Misses != fast.Misses || ref.tick != fast.tick {
+			return false
+		}
+		for i := range ref.ways {
+			if ref.ways[i] != fast.ways[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property (MSHR retirement differential): the heap-retired fast path
+// and the reference map sweep agree on every Pending/TryAlloc/Free/
+// InFlight answer and on the exact Merges/Rejected/Allocated counts
+// under random allocation streams with out-of-order completion times.
+func TestMSHRDifferential(t *testing.T) {
+	f := func(ops []uint16) bool {
+		ref := NewMSHRFile(4)
+		ref.Reference = true
+		fast := NewMSHRFile(4)
+		now := int64(0)
+		for _, op := range ops {
+			now += int64(op % 7)
+			line := int64(op%16) * 64
+			switch op % 3 {
+			case 0:
+				ready := now + int64(op%200)
+				if _, merging := ref.Pending(now, line); !merging {
+					a := ref.TryAlloc(now, line, ready)
+					// Mirror the Pending-then-TryAlloc sequence exactly.
+					_, _ = fast.Pending(now, line)
+					if b := fast.TryAlloc(now, line, ready); a != b {
+						return false
+					}
+				} else {
+					_, _ = fast.Pending(now, line)
+				}
+			case 1:
+				r1, ok1 := ref.Pending(now, line)
+				r2, ok2 := fast.Pending(now, line)
+				if r1 != r2 || ok1 != ok2 {
+					return false
+				}
+			case 2:
+				if ref.Free(now) != fast.Free(now) || ref.InFlight(now) != fast.InFlight(now) {
+					return false
+				}
+			}
+		}
+		return ref.Merges == fast.Merges && ref.Rejected == fast.Rejected && ref.Allocated == fast.Allocated
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
 	}
 }

@@ -97,10 +97,10 @@ func FromArch(a config.Arch) Proc {
 // FA(k clusters × w issue): min(T,k) × min(I,w).
 // SMT with per-thread cap c and total issue B: min(B, min(T,Tmax) × min(I,c)).
 func (pr Proc) Delivered(p Point) float64 {
-	t := minf(p.Threads, pr.MaxThreads)
-	i := minf(p.ILP, pr.ILPCap)
+	t := min(p.Threads, pr.MaxThreads)
+	i := min(p.ILP, pr.ILPCap)
 	d := t * i
-	return minf(d, pr.TotalIssue)
+	return min(d, pr.TotalIssue)
 }
 
 // Utilization is delivered performance over the chip's issue bandwidth.
@@ -138,13 +138,6 @@ func BestOf(procs []Proc, p Point) Proc {
 		}
 	}
 	return best
-}
-
-func minf(a, b float64) float64 {
-	if a < b {
-		return a
-	}
-	return b
 }
 
 // Chart renders an ASCII threads×ILP chart (Figure 1 / Figure 6 style):

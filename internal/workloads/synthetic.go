@@ -76,7 +76,7 @@ func Synthetic(spec SyntheticSpec) Workload {
 func buildSynthetic(spec SyntheticSpec, threads, chips int, size Size) *prog.Program {
 	iters := spec.Iters
 	if size == SizeTest {
-		iters = min64(iters, 512)
+		iters = min(iters, 512)
 	}
 	words := int64(spec.FootprintKB) * 1024 / prog.WordSize
 
@@ -161,11 +161,4 @@ func buildSynthetic(spec SyntheticSpec, threads, chips int, size Size) *prog.Pro
 		p.Init[data+i*prog.WordSize] = floatBits(0.25 + 0.001*float64(i%97))
 	}
 	return p
-}
-
-func min64(a, b int64) int64 {
-	if a < b {
-		return a
-	}
-	return b
 }
