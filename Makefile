@@ -5,12 +5,13 @@ check: diff race
 	go test ./...
 
 # Differential matrix only: scan × wakeup issue crossed with stepped ×
-# fast-forward cycle loops, plus reference × fast memory paths, must
-# agree bit-for-bit on the full Result (reflect.DeepEqual) across every
-# preset. Fast feedback when touching the issue stage, the quiescence
-# skip, or the memory hierarchy.
+# fast-forward cycle loops, plus reference × fast memory paths, plus
+# observability on × off, must agree bit-for-bit on the full Result
+# (reflect.DeepEqual) across every preset. Fast feedback when touching
+# the issue stage, the quiescence skip, the memory hierarchy, or the
+# metrics/tracing hooks.
 diff:
-	go test ./internal/core -run 'TestEventDriven|TestWakeup|TestStoreForwardingMap|TestMemPath'
+	go test ./internal/core -run 'TestEventDriven|TestWakeup|TestStoreForwardingMap|TestMemPath|TestObs'
 
 # Race-check the concurrent harness (suite cache + singleflight).
 race:

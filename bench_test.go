@@ -468,6 +468,53 @@ func BenchmarkCoreMemory(b *testing.B) {
 	}
 }
 
+// runObsOverhead runs the memory-bound paper workload with the
+// observability subsystem either fully off (the default: one nil check
+// per cycle) or sampling a frame every DefaultMetricsInterval cycles
+// into a ring. Results are bit-identical either way (see
+// internal/core/obs_test.go); only host time may differ.
+func runObsOverhead(sampled bool) (*clustersmt.Result, error) {
+	m := clustersmt.LowEnd(clustersmt.SMT2)
+	w, err := clustersmt.WorkloadByName("ocean")
+	if err != nil {
+		return nil, err
+	}
+	sim, err := clustersmt.NewSimulator(m, w.Build(m.Threads(), m.Chips, clustersmt.SizeRef))
+	if err != nil {
+		return nil, err
+	}
+	if sampled {
+		sim.EnableMetrics(clustersmt.DefaultMetricsInterval, 0)
+	}
+	return sim.Run()
+}
+
+// BenchmarkObsOverhead measures the cost of interval metrics: the
+// disabled leg is the plain simulator (sampling off), the sampled leg
+// snapshots a frame every 10k cycles. The sim-cycles/s metric is the
+// one recorded in BENCH_core.json.
+func BenchmarkObsOverhead(b *testing.B) {
+	for _, mode := range []struct {
+		name    string
+		sampled bool
+	}{
+		{"disabled", false},
+		{"sampled", true},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			var cycles int64
+			for i := 0; i < b.N; i++ {
+				res, err := runObsOverhead(mode.sampled)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cycles += res.Cycles
+			}
+			b.ReportMetric(float64(cycles)/b.Elapsed().Seconds(), "sim-cycles/s")
+		})
+	}
+}
+
 // benchEntry is one BENCH_core.json record. The base/fast rate fields
 // carry entry-specific JSON names (cycle-stepped vs event-driven for
 // the fast-forward entry, scan vs wakeup for the issue-stage entry),
@@ -584,17 +631,45 @@ func TestWriteBenchCoreJSON(t *testing.T) {
 		t.Fatalf("memory fast-path speedup %.2fx below the 1.5x floor", memReport.Speedup)
 	}
 
-	out, err := json.MarshalIndent([]any{ffReport, wkReport, memReport}, "", "  ")
+	// Entry 4: observability overhead. Unlike the other entries this one
+	// bounds a cost rather than proving a speedup: sampling every 10k
+	// cycles must stay cheap, and the disabled leg differs from a
+	// pre-observability build by one nil check per cycle.
+	obsOff, obsCycles := bestOf(t, reps, func() (*clustersmt.Result, error) { return runObsOverhead(false) })
+	obsOn, _ := bestOf(t, reps, func() (*clustersmt.Result, error) { return runObsOverhead(true) })
+	obsReport := struct {
+		benchEntry
+		DisabledCyclesSec float64 `json:"disabled_sim_cycles_per_sec"`
+		SampledCyclesSec  float64 `json:"sampled_sim_cycles_per_sec"`
+		OverheadPct       float64 `json:"sampling_overhead_pct"`
+	}{
+		benchEntry: benchEntry{
+			Benchmark: "BenchmarkObsOverhead",
+			Machine:   clustersmt.LowEnd(clustersmt.SMT2).Name,
+			Workload:  "ocean (reference input; one metrics frame per 10k cycles vs observability disabled)",
+			SimCycles: obsCycles,
+			Speedup:   obsOff.Seconds() / obsOn.Seconds(),
+		},
+		DisabledCyclesSec: float64(obsCycles) / obsOff.Seconds(),
+		SampledCyclesSec:  float64(obsCycles) / obsOn.Seconds(),
+		OverheadPct:       100 * (obsOn.Seconds() - obsOff.Seconds()) / obsOff.Seconds(),
+	}
+	if obsReport.Speedup < 0.5 {
+		t.Fatalf("sampling costs %.2fx throughput; observability must stay cheap", 1/obsReport.Speedup)
+	}
+
+	out, err := json.MarshalIndent([]any{ffReport, wkReport, memReport, obsReport}, "", "  ")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if err := os.WriteFile("BENCH_core.json", append(out, '\n'), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	t.Logf("fast-forward %.2fx (%s stepped, %s event-driven over %d cycles); wakeup %.2fx (%s scan, %s wakeup over %d cycles); memory %.2fx (%s reference, %s fastpath over %d cycles)",
+	t.Logf("fast-forward %.2fx (%s stepped, %s event-driven over %d cycles); wakeup %.2fx (%s scan, %s wakeup over %d cycles); memory %.2fx (%s reference, %s fastpath over %d cycles); obs sampling %+.1f%% (%s disabled, %s sampled over %d cycles)",
 		ffReport.Speedup, ffStepped, ffEvent, ffCycles,
 		wkReport.Speedup, wkScan, wkWakeup, wkCycles,
-		memReport.Speedup, memRef, memFast, memCycles)
+		memReport.Speedup, memRef, memFast, memCycles,
+		obsReport.OverheadPct, obsOff, obsOn, obsCycles)
 }
 
 // BenchmarkMultiprogram measures multiprogrammed throughput: eight

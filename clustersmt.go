@@ -34,6 +34,7 @@ import (
 	"clustersmt/internal/core"
 	"clustersmt/internal/harness"
 	"clustersmt/internal/model"
+	"clustersmt/internal/obs"
 	"clustersmt/internal/parallel"
 	"clustersmt/internal/prog"
 	"clustersmt/internal/stats"
@@ -202,6 +203,20 @@ const (
 	SlotStructural = stats.Structural
 	SlotOther      = stats.Other
 )
+
+// MetricsFrame is one interval-metrics sample: the deltas and gauges
+// covering [Start, End) cycles of a run. Produced by
+// Simulator.EnableMetrics / OnInterval and the Suite metrics fields;
+// sampling is read-only and leaves results bit-identical.
+type MetricsFrame = obs.Frame
+
+// MetricsRing retains the most recent MetricsFrames of a run and
+// exports them as CSV or JSON.
+type MetricsRing = obs.Ring
+
+// DefaultMetricsInterval is the sampling interval (cycles per frame)
+// used when none is specified.
+const DefaultMetricsInterval = core.DefaultMetricsInterval
 
 // Suite runs and caches experiment matrices (Figures 4–8).
 type Suite = harness.Suite

@@ -6,11 +6,12 @@
 // Usage:
 //
 //	clustersim [-arch SMT2] [-app ocean] [-highend] [-size ref] [-v]
+//	           [-metrics out.csv] [-metrics-interval 10000]
+//	           [-trace t.json] [-trace-format chrome]
 //	           [-cpuprofile cpu.out] [-memprofile mem.out]
 package main
 
 import (
-	"bufio"
 	"flag"
 	"fmt"
 	"log"
@@ -21,6 +22,7 @@ import (
 
 	"clustersmt"
 	"clustersmt/internal/core"
+	"clustersmt/internal/obs"
 )
 
 func main() {
@@ -33,8 +35,13 @@ func main() {
 	sizeName := flag.String("size", "ref", "input size: test or ref")
 	verbose := flag.Bool("v", false, "print extended statistics")
 	tracePath := flag.String("trace", "", "write a pipeline trace to this file")
+	traceFormat := flag.String("trace-format", "text", "trace format: text or chrome (trace_event JSON for chrome://tracing)")
 	traceFrom := flag.Int64("trace-from", 0, "first cycle to trace")
 	traceTo := flag.Int64("trace-to", 0, "last cycle to trace (0 = to the end)")
+	metricsPath := flag.String("metrics", "", "write interval metrics to this file")
+	metricsInterval := flag.Int64("metrics-interval", core.DefaultMetricsInterval, "cycles per metrics frame")
+	metricsFormat := flag.String("metrics-format", "", "metrics format: csv or json (default: by file extension, csv otherwise)")
+	metricsRing := flag.Int("metrics-ring", 0, "retain at most this many frames (0 = default ring size; oldest dropped)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	flag.Parse()
@@ -96,13 +103,28 @@ func main() {
 			log.Fatal(err)
 		}
 		defer f.Close()
-		bw := bufio.NewWriter(f)
-		defer bw.Flush()
-		sim.TraceTo(bw, *traceFrom, *traceTo)
+		// The simulator buffers and flushes the trace writer itself.
+		switch *traceFormat {
+		case "text":
+			sim.TraceTo(f, *traceFrom, *traceTo)
+		case "chrome":
+			sim.TraceChromeTo(f, *traceFrom, *traceTo)
+		default:
+			log.Fatalf("unknown trace format %q (want text or chrome)", *traceFormat)
+		}
+	}
+	var ring *obs.Ring
+	if *metricsPath != "" {
+		ring = sim.EnableMetrics(*metricsInterval, *metricsRing)
 	}
 	res, err := sim.Run()
 	if err != nil {
 		log.Fatal(err)
+	}
+	if ring != nil {
+		if err := writeMetrics(*metricsPath, *metricsFormat, ring); err != nil {
+			log.Fatal(err)
+		}
 	}
 
 	fmt.Printf("machine   %s (%d chip(s), %d hardware contexts)\n", m.Name, m.Chips, m.Threads())
@@ -111,8 +133,9 @@ func main() {
 	fmt.Printf("instrs    %d (IPC %.2f)\n", res.Committed, res.IPC)
 	fmt.Printf("threads   %.2f average running\n", res.AvgRunningThreads)
 	fmt.Println("issue-slot breakdown:")
+	fractions := res.Slots.Fractions()
 	for c := clustersmt.SlotUseful; c <= clustersmt.SlotOther; c++ {
-		fmt.Printf("  %-11s %6.2f%%\n", c, 100*res.Slots.Fraction(c))
+		fmt.Printf("  %-11s %6.2f%%\n", c, 100*fractions[c])
 	}
 	if !*verbose {
 		return
@@ -141,4 +164,29 @@ func main() {
 		fmt.Printf("per-thread instructions: %v\n", res.PerThreadCommitted)
 	}
 	_ = os.Stdout
+}
+
+// writeMetrics exports the frame ring to path. The format is csv or
+// json, defaulting by file extension (csv unless the path ends in
+// .json).
+func writeMetrics(path, format string, ring *obs.Ring) error {
+	if format == "" {
+		format = "csv"
+		if strings.HasSuffix(strings.ToLower(path), ".json") {
+			format = "json"
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	switch format {
+	case "csv":
+		return ring.WriteCSV(f)
+	case "json":
+		return ring.WriteJSON(f)
+	default:
+		return fmt.Errorf("unknown metrics format %q (want csv or json)", format)
+	}
 }

@@ -7,6 +7,7 @@
 // Usage:
 //
 //	paperfigs [-size ref] [-only fig4,fig7] [-o report.md]
+//	          [-progress] [-metrics metricsdir]
 //	          [-cpuprofile cpu.out] [-memprofile mem.out]
 package main
 
@@ -16,6 +17,7 @@ import (
 	"io"
 	"log"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"strings"
@@ -36,6 +38,9 @@ func main() {
 	only := flag.String("only", "", "comma-separated subset: table1,table2,table3,fig1,fig4,fig5,fig6,fig7,fig8,conclusion,model,mix")
 	outPath := flag.String("o", "", "also write the report to this file")
 	bars := flag.Bool("bars", false, "also draw paper-style stacked bars")
+	progress := flag.Bool("progress", false, "print a per-run heartbeat to stderr every metrics interval")
+	metricsDir := flag.String("metrics", "", "export each run's interval metrics as CSV into this directory")
+	metricsInterval := flag.Int64("metrics-interval", clustersmt.DefaultMetricsInterval, "cycles per metrics frame")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	flag.Parse()
@@ -88,6 +93,37 @@ func main() {
 	}
 
 	suite := clustersmt.NewSuite(size)
+	if *metricsDir != "" || *progress {
+		suite.MetricsInterval = *metricsInterval
+	}
+	if *progress {
+		suite.OnFrame = func(app, machine string, f clustersmt.MetricsFrame) {
+			fmt.Fprintf(os.Stderr, "%-8s %-22s %s\n", app, machine, f.String())
+		}
+	}
+	defer func() {
+		if *metricsDir == "" {
+			return
+		}
+		if err := os.MkdirAll(*metricsDir, 0o755); err != nil {
+			log.Fatal(err)
+		}
+		for _, run := range suite.MetricsRuns() {
+			// Run keys look like "fmm@low-end/FA1"; flatten both
+			// separators so each run is one file in the directory.
+			name := strings.NewReplacer("@", "_", "/", "_").Replace(run)
+			path := filepath.Join(*metricsDir, name+".csv")
+			f, err := os.Create(path)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := suite.WriteMetricsCSV(f, run); err != nil {
+				f.Close()
+				log.Fatal(err)
+			}
+			f.Close()
+		}
+	}()
 	if sel("table1") {
 		fmt.Fprintln(out, table1())
 	}

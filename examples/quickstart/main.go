@@ -21,7 +21,8 @@ func main() {
 	fmt.Printf("ocean on %s: %d cycles, %d instructions, IPC %.2f\n",
 		machine.Name, res.Cycles, res.Committed, res.IPC)
 	fmt.Println("where the issue slots went:")
+	fractions := res.Slots.Fractions()
 	for c := clustersmt.SlotUseful; c <= clustersmt.SlotOther; c++ {
-		fmt.Printf("  %-11s %5.1f%%\n", c, 100*res.Slots.Fraction(c))
+		fmt.Printf("  %-11s %5.1f%%\n", c, 100*fractions[c])
 	}
 }

@@ -576,6 +576,36 @@ func (s *System) fetch(chip int, line int64, now int64, exclusive bool) (int64, 
 	return start + int64(s.Cfg.RemoteMemLat), RemoteMem
 }
 
+// MemSnapshot is a read-only view of the memory system at one cycle:
+// cumulative access counters summed over chips plus point-in-time
+// occupancy gauges. It exists for the observability sampler, so taking
+// one must never mutate timing state (MSHR occupancy uses the
+// non-retiring probe; the directory count reads the live population).
+type MemSnapshot struct {
+	Loads, Stores, LoadRetries         uint64
+	L1Hits, L1Misses, L2Hits, L2Misses uint64
+	MSHROccupancy                      int // outstanding fills at the snapshot cycle
+	DirLines                           int // directory-tracked lines
+}
+
+// Snapshot captures the machine-wide memory counters at cycle now.
+func (s *System) Snapshot(now int64) MemSnapshot {
+	snap := MemSnapshot{
+		Loads:       s.Stats.Loads,
+		Stores:      s.Stats.Stores,
+		LoadRetries: s.Stats.LoadRetries,
+		DirLines:    s.Dir.Lines(),
+	}
+	for _, c := range s.Chips {
+		snap.L1Hits += c.L1.Hits
+		snap.L1Misses += c.L1.Misses
+		snap.L2Hits += c.L2.Hits
+		snap.L2Misses += c.L2.Misses
+		snap.MSHROccupancy += c.MSHR.Occupancy(now)
+	}
+	return snap
+}
+
 // CanAcceptLoad reports whether chip could start a new load miss at
 // cycle now (issue gating for the pipeline's memory-hazard accounting).
 func (s *System) CanAcceptLoad(now int64, chip int) bool {

@@ -262,7 +262,13 @@ func (c *cluster) commit(s *Simulator, now int64) bool {
 			e := t.fifoFront()
 			t.fifoPop()
 			if e.isStore {
-				s.msys.Store(now, c.chip, e.d.Addr+e.thread.memBase)
+				if s.tr != nil {
+					pre := s.dirCounters()
+					s.msys.Store(now, c.chip, e.d.Addr+e.thread.memBase)
+					s.traceDirDelta(now, c, e, pre)
+				} else {
+					s.msys.Store(now, c.chip, e.d.Addr+e.thread.memBase)
+				}
 			}
 			if e.usesIntRename {
 				c.renameIntFree++
@@ -398,6 +404,10 @@ func (c *cluster) tryIssue(s *Simulator, e *entry, now int64, votes *stats.Votes
 			completeAt = now + e.lat
 			s.forwardedLoads++
 		} else {
+			var pre dirCounters
+			if s.tr != nil {
+				pre = s.dirCounters()
+			}
 			dataReady, cls, ok := s.msys.Load(now, c.chip, e.d.Addr+e.thread.memBase)
 			if !ok {
 				// MSHR file full: retry next cycle.
@@ -409,6 +419,10 @@ func (c *cluster) tryIssue(s *Simulator, e *entry, now int64, votes *stats.Votes
 			// generation plus the 1-cycle L1 round trip returned by
 			// the memory system.
 			completeAt = dataReady + 1
+			if s.tr != nil {
+				s.traceMem(now, completeAt, c, e, cls)
+				s.traceDirDelta(now, c, e, pre)
+			}
 		}
 	case e.isStore:
 		// Address generation only; the access itself happens at
@@ -652,6 +666,9 @@ func (c *cluster) fetchFrom(s *Simulator, t *threadCtx, now int64, budget int, v
 
 		if inf.Branch {
 			if c.handleBranch(t, e, d) {
+				// The redirect point: no wrong-path instructions were
+				// fetched, so the squash marks where fetch stops.
+				s.traceEvent(now, c, "S", e)
 				return 0 // mispredicted: fetch blocked until resolve
 			}
 			if d.Taken {

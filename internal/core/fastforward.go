@@ -281,13 +281,8 @@ func (s *Simulator) fastForward() bool {
 
 	n := next - now
 
-	// Replay the skipped cycles' accounting exactly as step() would
-	// have. The machine-wide tally receives per-cycle interleaved
-	// cluster contributions (float addition is not associative, so the
-	// interleaving order matters for bit-identity); each cluster's own
-	// tally is a contiguous stream and takes the bulk path. The rows
-	// themselves are constant across the skip, so their divides are
-	// hoisted out of the replay loop.
+	// Hoist the per-cycle slot rows out of the replay: the votes are
+	// constant across the skip, so each cluster's divides happen once.
 	if len(s.ffRows) < len(s.clusters) {
 		s.ffRows = make([][stats.NumCategories]float64, len(s.clusters))
 	}
@@ -295,6 +290,40 @@ func (s *Simulator) fastForward() bool {
 	for i, cl := range s.clusters {
 		rows[i] = stats.IdleRow(cl.cfg.IssueWidth, &votes[i])
 	}
+
+	if s.obs == nil {
+		s.replaySkip(n, rows, votes)
+	} else {
+		// Metrics frames must land exactly on their boundaries, so the
+		// skip is replayed in segments split at each due sample. Every
+		// segment performs the identical per-cycle accounting in the
+		// identical order a single full-span replay would (the per-cycle
+		// loops are merely partitioned into contiguous runs), so the
+		// results stay bit-identical — only the sampler observes the
+		// boundary states in between.
+		for n > 0 {
+			seg := n
+			if due := s.obs.nextAt - s.cycle; due > 0 && due < seg {
+				seg = due
+			}
+			s.replaySkip(seg, rows, votes)
+			n -= seg
+			if s.cycle >= s.obs.nextAt {
+				s.sample()
+			}
+		}
+	}
+	return true
+}
+
+// replaySkip charges n skipped quiescent cycles of accounting exactly
+// as n step() calls would have, using the precomputed per-cluster slot
+// rows and votes, and advances the clock. The machine-wide tally
+// receives per-cycle interleaved cluster contributions (float addition
+// is not associative, so the interleaving order matters for
+// bit-identity); each cluster's own tally is a contiguous stream and
+// takes the bulk path.
+func (s *Simulator) replaySkip(n int64, rows [][stats.NumCategories]float64, votes []stats.Votes) {
 	for c := int64(0); c < n; c++ {
 		for i := range rows {
 			s.slots.AddRow(&rows[i])
@@ -306,7 +335,8 @@ func (s *Simulator) fastForward() bool {
 	}
 	s.slots.AdvanceCycles(n)
 	// running is integer-valued and the accumulator stays far below
-	// 2^53, so the bulk add equals n repeated additions exactly.
+	// 2^53, so the bulk add equals n repeated additions exactly (and a
+	// segmented replay's partial adds sum to the same value).
 	s.runningAccum += float64(n) * float64(s.running)
 	for _, t := range s.ffSpinners {
 		t.sync.LockConflicts += uint64(n) // one failed poll per cycle
@@ -329,6 +359,5 @@ func (s *Simulator) fastForward() bool {
 		}
 	}
 	s.ffCycles += n
-	s.cycle = next
-	return true
+	s.cycle += n
 }

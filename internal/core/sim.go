@@ -71,7 +71,8 @@ type Simulator struct {
 	// MaxCycles aborts the run when exceeded (safety net).
 	MaxCycles int64
 
-	tr *tracer
+	tr  *tracer
+	obs *sampler
 }
 
 // FastForwarded returns the number of cycles covered by quiescence
@@ -209,6 +210,11 @@ func (s *Simulator) Run() (*Result, error) {
 	if s.cycle != 0 {
 		return nil, fmt.Errorf("core: simulator already run")
 	}
+	if s.tr != nil {
+		// The trace writer is buffered; flush whatever was traced even
+		// when the run aborts (MaxCycles), so partial traces are usable.
+		defer s.tr.flush()
+	}
 	// idle gates the quiescence check: a cycle in which nothing happened
 	// is the only state worth paying the dry-run scan for. Some idle
 	// states are persistently non-quiescent (an MSHR-blocked load, a
@@ -240,6 +246,13 @@ func (s *Simulator) Run() (*Result, error) {
 		} else {
 			idle = true
 		}
+		if s.obs != nil && s.cycle >= s.obs.nextAt {
+			s.sample()
+		}
+	}
+	if s.obs != nil && s.cycle > s.obs.prevCycle {
+		// Partial tail: the run ended between boundaries.
+		s.sample()
 	}
 	return s.result(), nil
 }

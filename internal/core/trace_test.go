@@ -1,0 +1,160 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"clustersmt/internal/config"
+	"clustersmt/internal/workloads"
+)
+
+// chromeEvent mirrors the trace_event fields the sink emits.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ph   string         `json:"ph"`
+	Ts   int64          `json:"ts"`
+	Dur  int64          `json:"dur"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args"`
+}
+
+func runTraced(t *testing.T, m config.Machine, app string, setup func(*Simulator)) *Result {
+	t.Helper()
+	w, err := workloads.ByName(app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(m, w.Build(m.Threads(), m.Chips, workloads.SizeTest))
+	if err != nil {
+		t.Fatal(err)
+	}
+	setup(s)
+	r, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// TestChromeTraceValidJSON runs a traced simulation and checks the
+// output is one parseable JSON array containing metadata records,
+// pipeline instants for fetch/issue/commit, and memory spans, with
+// consistent pid/tid tracks.
+func TestChromeTraceValidJSON(t *testing.T) {
+	var buf bytes.Buffer
+	m := config.HighEnd(config.SMT2) // multi-chip: remote misses guarantee memory spans
+	runTraced(t, m, "ocean", func(s *Simulator) {
+		s.TraceChromeTo(&buf, 0, 0)
+	})
+
+	var events []chromeEvent
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if len(events) == 0 {
+		t.Fatal("trace is empty")
+	}
+
+	byPh := map[string]int{}
+	byName := map[string]int{}
+	procNames := map[int]bool{}
+	for _, e := range events {
+		byPh[e.Ph]++
+		byName[e.Name]++
+		switch e.Ph {
+		case "M":
+			if e.Name == "process_name" {
+				procNames[e.Pid] = true
+			}
+		case "i":
+			if !procNames[e.Pid] {
+				t.Fatalf("instant event on pid %d before its process_name metadata", e.Pid)
+			}
+		case "X":
+			if e.Dur < 1 {
+				t.Fatalf("span %q has non-positive duration %d", e.Name, e.Dur)
+			}
+		default:
+			t.Fatalf("unexpected event phase %q", e.Ph)
+		}
+	}
+	for _, name := range []string{"process_name", "thread_name", "fetch", "issue", "commit"} {
+		if byName[name] == 0 {
+			t.Errorf("no %q events in trace", name)
+		}
+	}
+	if byPh["X"] == 0 {
+		t.Error("no memory spans in trace despite remote misses")
+	}
+	// One process per cluster across the machine.
+	if want := m.Chips * m.Arch.Clusters; len(procNames) != want {
+		t.Errorf("trace names %d processes, machine has %d clusters", len(procNames), want)
+	}
+}
+
+// TestChromeTraceWindow checks that a window confined to [from, to)
+// excludes events outside it and still closes the JSON array — and
+// that an empty window yields a valid empty array.
+func TestChromeTraceWindow(t *testing.T) {
+	var buf bytes.Buffer
+	runTraced(t, config.LowEnd(config.SMT1), "fmm", func(s *Simulator) {
+		s.TraceChromeTo(&buf, 100, 200)
+	})
+	var events []chromeEvent
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("windowed trace is not valid JSON: %v", err)
+	}
+	for _, e := range events {
+		if e.Ph == "M" {
+			continue
+		}
+		if e.Ts < 100 || e.Ts >= 200 {
+			t.Fatalf("event %q at ts %d outside window [100,200)", e.Name, e.Ts)
+		}
+	}
+
+	buf.Reset()
+	runTraced(t, config.LowEnd(config.SMT1), "fmm", func(s *Simulator) {
+		s.TraceChromeTo(&buf, 5, 5) // empty window
+	})
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("empty-window trace is not valid JSON: %v", err)
+	}
+	if len(events) != 0 {
+		t.Fatalf("empty window produced %d events", len(events))
+	}
+}
+
+// TestTextTraceFlushed checks the buffered text sink reaches the
+// underlying writer by the end of Run without an explicit caller-side
+// flush, and that event lines carry the expected kinds.
+func TestTextTraceFlushed(t *testing.T) {
+	var buf bytes.Buffer
+	runTraced(t, config.LowEnd(config.SMT1), "fmm", func(s *Simulator) {
+		s.TraceTo(&buf, 0, 500)
+	})
+	out := buf.String()
+	if out == "" {
+		t.Fatal("text trace never flushed to the writer")
+	}
+	if !strings.HasSuffix(out, "\n") {
+		t.Error("text trace does not end with a complete line")
+	}
+	kinds := map[string]bool{}
+	for _, line := range strings.Split(strings.TrimSuffix(out, "\n"), "\n") {
+		fields := strings.Fields(line)
+		if len(fields) < 3 {
+			t.Fatalf("malformed trace line %q", line)
+		}
+		kinds[fields[2]] = true
+	}
+	for _, k := range []string{"F", "I", "C"} {
+		if !kinds[k] {
+			t.Errorf("no %q events in text trace", k)
+		}
+	}
+}

@@ -10,6 +10,7 @@ package harness
 
 import (
 	"fmt"
+	"io"
 	"runtime"
 	"sort"
 	"strings"
@@ -18,6 +19,7 @@ import (
 	"clustersmt/internal/config"
 	"clustersmt/internal/core"
 	"clustersmt/internal/model"
+	"clustersmt/internal/obs"
 	"clustersmt/internal/stats"
 	"clustersmt/internal/workloads"
 )
@@ -53,9 +55,27 @@ type Suite struct {
 	// MaxCycles bounds each simulation (0 = core default).
 	MaxCycles int64
 
+	// MetricsInterval > 0 enables interval metrics on every simulation
+	// (one obs.Frame per MetricsInterval cycles, retained in a ring of
+	// MetricsRingCap frames — obs.DefaultRingCap when 0). Sampling is
+	// read-only: results, including cache hits shared across figures,
+	// are bit-identical with metrics on or off.
+	MetricsInterval int64
+	MetricsRingCap  int
+	// OnFrame, when set, receives every frame of every simulation as
+	// the run progresses — the progress heartbeat. Setting it without
+	// MetricsInterval samples at core.DefaultMetricsInterval. It is
+	// called from concurrent simulation goroutines and must be safe for
+	// concurrent use; it must not block for long (it runs on the
+	// simulation's critical path).
+	OnFrame func(app, machine string, f obs.Frame)
+
 	mu    sync.Mutex
 	cache map[runKey]*inflight
 	sem   chan struct{}
+
+	obsMu sync.Mutex
+	rings map[string]*obs.Ring // "app@machine" -> retained frames
 }
 
 // NewSuite returns a Suite at the given input size, running up to
@@ -113,11 +133,64 @@ func (s *Suite) simulate(app workloads.Workload, m config.Machine) (*core.Result
 	if s.MaxCycles > 0 {
 		sim.MaxCycles = s.MaxCycles
 	}
+	if s.MetricsInterval > 0 || s.OnFrame != nil {
+		ring := sim.EnableMetrics(s.MetricsInterval, s.MetricsRingCap)
+		if s.OnFrame != nil {
+			appName, machine := app.Name, m.Name
+			sim.OnInterval(func(f obs.Frame) { s.OnFrame(appName, machine, f) })
+		}
+		s.obsMu.Lock()
+		if s.rings == nil {
+			s.rings = make(map[string]*obs.Ring)
+		}
+		s.rings[app.Name+"@"+m.Name] = ring
+		s.obsMu.Unlock()
+	}
 	r, err := sim.Run()
 	if err != nil {
 		return nil, fmt.Errorf("harness: %s on %s: %w", app.Name, m.Name, err)
 	}
 	return r, nil
+}
+
+// Metrics returns the retained frame ring for the given simulated run
+// ("app@machine", as listed by MetricsRuns), or nil. Note that cached
+// runs simulate once: FA8 and SMT8 share one physical configuration
+// and hence one ring.
+func (s *Suite) Metrics(run string) *obs.Ring {
+	s.obsMu.Lock()
+	defer s.obsMu.Unlock()
+	return s.rings[run]
+}
+
+// MetricsRuns lists the runs with retained metrics, sorted.
+func (s *Suite) MetricsRuns() []string {
+	s.obsMu.Lock()
+	defer s.obsMu.Unlock()
+	runs := make([]string, 0, len(s.rings))
+	for k := range s.rings {
+		runs = append(runs, k)
+	}
+	sort.Strings(runs)
+	return runs
+}
+
+// WriteMetricsCSV exports one run's frames ("app@machine") as CSV.
+func (s *Suite) WriteMetricsCSV(w io.Writer, run string) error {
+	ring := s.Metrics(run)
+	if ring == nil {
+		return fmt.Errorf("harness: no metrics retained for %q", run)
+	}
+	return ring.WriteCSV(w)
+}
+
+// WriteMetricsJSON exports one run's frames ("app@machine") as JSON.
+func (s *Suite) WriteMetricsJSON(w io.Writer, run string) error {
+	ring := s.Metrics(run)
+	if ring == nil {
+		return fmt.Errorf("harness: no metrics retained for %q", run)
+	}
+	return ring.WriteJSON(w)
 }
 
 // RunMatrix runs every (app × arch) pair concurrently and returns the
@@ -267,9 +340,7 @@ func buildFigure(title string, apps []workloads.Workload, archs []config.Arch,
 				Cycles:     r.Cycles,
 				Normalized: 100 * float64(r.Cycles) / float64(base.Cycles),
 			}
-			for c := stats.Category(0); c < stats.NumCategories; c++ {
-				row.Breakdown[c] = r.Slots.Fraction(c)
-			}
+			row.Breakdown = r.Slots.Fractions()
 			f.Rows = append(f.Rows, row)
 		}
 	}

@@ -1,11 +1,18 @@
 package harness
 
 import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"io"
+	"reflect"
 	"strings"
+	"sync"
 	"testing"
 
 	"clustersmt/internal/config"
 	"clustersmt/internal/model"
+	"clustersmt/internal/obs"
 	"clustersmt/internal/stats"
 	"clustersmt/internal/workloads"
 )
@@ -472,5 +479,88 @@ func TestExtendedEvaluationExtras(t *testing.T) {
 			t.Errorf("%s: SMT2 (%d cycles) more than 15%% behind best %s (%d)",
 				w.Name, smt2, best, bestCycles)
 		}
+	}
+}
+
+// TestSuiteMetricsAndHeartbeat wires the observability fields through a
+// concurrent matrix run: every simulation must retain a ring, the
+// OnFrame heartbeat must see every frame (it runs from concurrent
+// simulation goroutines — this test is part of the -race gate), the
+// per-run exports must produce parseable CSV and JSON, and results must
+// stay bit-identical to a suite without metrics.
+func TestSuiteMetricsAndHeartbeat(t *testing.T) {
+	apps := []workloads.Workload{}
+	for _, name := range []string{"vpenta", "fmm"} {
+		w, err := workloads.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		apps = append(apps, w)
+	}
+	archs := []config.Arch{config.SMT2, config.FA4}
+
+	plain := NewSuite(workloads.SizeTest)
+	ref, err := plain.RunMatrix(apps, archs, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s := NewSuite(workloads.SizeTest)
+	s.MetricsInterval = 500
+	var mu sync.Mutex
+	beats := map[string]int{}
+	s.OnFrame = func(app, machine string, f obs.Frame) {
+		mu.Lock()
+		beats[app+"@"+machine]++
+		mu.Unlock()
+	}
+	got, err := s.RunMatrix(apps, archs, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range apps {
+		for _, ar := range archs {
+			if !reflect.DeepEqual(ref[a.Name][ar.Name], got[a.Name][ar.Name]) {
+				t.Errorf("%s on %s: result with suite metrics differs from plain run", a.Name, ar.Name)
+			}
+		}
+	}
+
+	runs := s.MetricsRuns()
+	if len(runs) != len(apps)*len(archs) {
+		t.Fatalf("retained metrics for %d runs, want %d: %v", len(runs), len(apps)*len(archs), runs)
+	}
+	for _, run := range runs {
+		ring := s.Metrics(run)
+		if ring == nil || ring.Len() == 0 {
+			t.Fatalf("%s: no frames retained", run)
+		}
+		if beats[run] != ring.Pushed() {
+			t.Errorf("%s: heartbeat saw %d frames, ring pushed %d", run, beats[run], ring.Pushed())
+		}
+		var csvBuf, jsonBuf bytes.Buffer
+		if err := s.WriteMetricsCSV(&csvBuf, run); err != nil {
+			t.Fatal(err)
+		}
+		if recs, err := csv.NewReader(&csvBuf).ReadAll(); err != nil {
+			t.Fatalf("%s: CSV export unparseable: %v", run, err)
+		} else if len(recs) != ring.Len()+1 {
+			t.Errorf("%s: CSV has %d records, want header+%d", run, len(recs), ring.Len())
+		}
+		if err := s.WriteMetricsJSON(&jsonBuf, run); err != nil {
+			t.Fatal(err)
+		}
+		var doc struct {
+			Frames []obs.Frame `json:"frames"`
+		}
+		if err := json.Unmarshal(jsonBuf.Bytes(), &doc); err != nil {
+			t.Fatalf("%s: JSON export unparseable: %v", run, err)
+		}
+	}
+	if s.Metrics("nope@low-end/SMT2") != nil {
+		t.Error("unknown run returned a ring")
+	}
+	if err := s.WriteMetricsCSV(io.Discard, "nope"); err == nil {
+		t.Error("export of unknown run did not fail")
 	}
 }

@@ -398,3 +398,27 @@ func TestMSHRDifferential(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestMSHROccupancyReadOnly: the observability probe must count
+// outstanding fills without retiring completed ones — retirement order
+// (and hence Merges/Allocated accounting) stays untouched.
+func TestMSHROccupancyReadOnly(t *testing.T) {
+	m := NewMSHRFile(4)
+	if !m.TryAlloc(0, 64, 10) || !m.TryAlloc(0, 128, 20) {
+		t.Fatal("allocations failed")
+	}
+	if got := m.Occupancy(5); got != 2 {
+		t.Errorf("Occupancy(5) = %d, want 2", got)
+	}
+	if got := m.Occupancy(15); got != 1 {
+		t.Errorf("Occupancy(15) = %d, want 1", got)
+	}
+	if got := m.Occupancy(25); got != 0 {
+		t.Errorf("Occupancy(25) = %d, want 0", got)
+	}
+	// Occupancy(25) saw both fills complete but must not have retired
+	// them: a retiring call at cycle 15 still finds the ready-at-20 fill.
+	if got := m.InFlight(15); got != 1 {
+		t.Errorf("InFlight(15) after Occupancy probes = %d, want 1 (probe mutated state)", got)
+	}
+}

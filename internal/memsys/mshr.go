@@ -106,6 +106,20 @@ func (m *MSHRFile) InFlight(now int64) int {
 	return len(m.pending)
 }
 
+// Occupancy counts the fills still outstanding at cycle now WITHOUT
+// retiring completed entries — a strictly read-only probe for the
+// observability sampler, which must not perturb the retirement order
+// either path (reference sweep or heap) would otherwise follow.
+func (m *MSHRFile) Occupancy(now int64) int {
+	n := 0
+	for _, ready := range m.pending {
+		if ready > now {
+			n++
+		}
+	}
+	return n
+}
+
 // fill is one outstanding fetch: the line being filled and the cycle
 // its data arrives.
 type fill struct{ ready, line int64 }

@@ -1,0 +1,221 @@
+// Package obs defines the simulator's observability primitives: the
+// interval-metrics Frame (one fixed-width window of the run), the
+// bounded Ring that retains recent frames, and the CSV/JSON exporters
+// behind `clustersim -metrics` and the harness.
+//
+// The package is deliberately passive — it holds and formats data the
+// core simulator snapshots at frame boundaries. The contract that
+// sampling is read-only and result-neutral (a run's Result is
+// bit-identical with observability on or off) lives in internal/core
+// and is enforced by TestObsResultNeutral; see DESIGN.md §6.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+
+	"clustersmt/internal/stats"
+)
+
+// DefaultRingCap is the frame retention bound used when callers pass a
+// non-positive capacity. At the default 10k-cycle interval it covers
+// ~41M cycles — longer than any paper-figure run — before the ring
+// starts dropping its oldest frames.
+const DefaultRingCap = 4096
+
+// Frame is one sampling interval's view of the machine: deltas of every
+// cumulative counter over the window plus point-in-time occupancy
+// gauges at the window's end. Slot deltas are exact differences of the
+// simulator's cumulative tallies, so folding frames back together
+// reproduces the end-of-run totals (the frame-conservation property
+// test in internal/core).
+type Frame struct {
+	Index int `json:"frame"`
+	// Start and End bound the cycles the frame covers: [Start, End).
+	// Every frame but the last spans exactly the sampling interval; the
+	// final frame is the partial tail emitted when the run finishes.
+	Start  int64 `json:"start_cycle"`
+	End    int64 `json:"end_cycle"`
+	Cycles int64 `json:"cycles"`
+
+	Committed uint64  `json:"committed"`
+	IPC       float64 `json:"ipc"`
+
+	// Running is the running-thread count at End; AvgRunning is its
+	// time-average over the window (the Figure 6 measurement, per
+	// interval).
+	Running    int     `json:"running_threads"`
+	AvgRunning float64 `json:"avg_running_threads"`
+
+	// Slots is the machine-wide issue-slot delta, indexed by
+	// stats.Category in declaration order (useful, fetch, sync, control,
+	// data, memory, structural, other).
+	Slots [stats.NumCategories]float64 `json:"slots"`
+
+	// Clusters breaks the slot delta down per cluster.
+	Clusters []ClusterSlots `json:"clusters,omitempty"`
+
+	Mem MemFrame `json:"mem"`
+}
+
+// ClusterSlots is one cluster's share of a frame's slot delta.
+type ClusterSlots struct {
+	Chip    int                          `json:"chip"`
+	Cluster int                          `json:"cluster"`
+	Slots   [stats.NumCategories]float64 `json:"slots"`
+}
+
+// MemFrame is the memory-system slice of a frame: access-count deltas
+// over the window plus end-of-window occupancy gauges.
+type MemFrame struct {
+	Loads       uint64 `json:"loads"`
+	Stores      uint64 `json:"stores"`
+	LoadRetries uint64 `json:"load_retries"`
+
+	L1Hits   uint64 `json:"l1_hits"`
+	L1Misses uint64 `json:"l1_misses"`
+	L2Hits   uint64 `json:"l2_hits"`
+	L2Misses uint64 `json:"l2_misses"`
+
+	// MSHROccupancy counts outstanding fills across all chips at the
+	// frame's end cycle; DirLines counts directory-tracked lines.
+	MSHROccupancy int `json:"mshr_occupancy"`
+	DirLines      int `json:"dir_lines"`
+}
+
+// L1MissRate returns the window's L1 misses per L1 access, in [0,1].
+func (m *MemFrame) L1MissRate() float64 { return rate(m.L1Misses, m.L1Hits) }
+
+// L2MissRate returns the window's L2 misses per L2 access, in [0,1].
+func (m *MemFrame) L2MissRate() float64 { return rate(m.L2Misses, m.L2Hits) }
+
+func rate(misses, hits uint64) float64 {
+	if misses+hits == 0 {
+		return 0
+	}
+	return float64(misses) / float64(misses+hits)
+}
+
+// String renders the frame as a one-line heartbeat (the harness
+// progress format).
+func (f *Frame) String() string {
+	return fmt.Sprintf("frame %d @%d: %d instrs, IPC %.2f, %d running, L1 miss %.1f%%, %d MSHRs, %d dir lines",
+		f.Index, f.End, f.Committed, f.IPC, f.Running,
+		100*f.Mem.L1MissRate(), f.Mem.MSHROccupancy, f.Mem.DirLines)
+}
+
+// CSVHeader returns the metrics CSV header row (no trailing newline).
+// Columns: frame identity, machine-wide deltas (one column per slot
+// category, in stats order), memory deltas and end-of-window gauges.
+// Per-cluster breakdowns are JSON-only.
+func CSVHeader() string {
+	var b strings.Builder
+	b.WriteString("frame,start_cycle,end_cycle,cycles,committed,ipc,running_threads,avg_running_threads")
+	for c := stats.Category(0); c < stats.NumCategories; c++ {
+		fmt.Fprintf(&b, ",slots_%s", c)
+	}
+	b.WriteString(",loads,stores,load_retries,l1_hits,l1_misses,l1_miss_rate,l2_hits,l2_misses,l2_miss_rate,mshr_occupancy,dir_lines")
+	return b.String()
+}
+
+// CSVRecord renders f as one CSV row matching CSVHeader (no trailing
+// newline).
+func (f *Frame) CSVRecord() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d,%d,%d,%d,%d,%g,%d,%g",
+		f.Index, f.Start, f.End, f.Cycles, f.Committed, f.IPC, f.Running, f.AvgRunning)
+	for _, v := range f.Slots {
+		fmt.Fprintf(&b, ",%g", v)
+	}
+	m := &f.Mem
+	fmt.Fprintf(&b, ",%d,%d,%d,%d,%d,%g,%d,%d,%g,%d,%d",
+		m.Loads, m.Stores, m.LoadRetries,
+		m.L1Hits, m.L1Misses, m.L1MissRate(),
+		m.L2Hits, m.L2Misses, m.L2MissRate(),
+		m.MSHROccupancy, m.DirLines)
+	return b.String()
+}
+
+// Ring retains the most recent frames of a run in a fixed-capacity
+// circular buffer. Pushing past capacity overwrites the oldest frame;
+// Dropped reports how many were lost. The zero Ring is not usable —
+// construct with NewRing.
+type Ring struct {
+	frames []Frame
+	start  int // index of the oldest retained frame
+	count  int // retained frames
+	pushed int // frames ever pushed
+}
+
+// NewRing returns a ring retaining up to capacity frames
+// (DefaultRingCap when capacity <= 0).
+func NewRing(capacity int) *Ring {
+	if capacity <= 0 {
+		capacity = DefaultRingCap
+	}
+	return &Ring{frames: make([]Frame, capacity)}
+}
+
+// Cap returns the ring's capacity.
+func (r *Ring) Cap() int { return len(r.frames) }
+
+// Len returns the number of retained frames.
+func (r *Ring) Len() int { return r.count }
+
+// Pushed returns the number of frames ever pushed.
+func (r *Ring) Pushed() int { return r.pushed }
+
+// Dropped returns the number of frames overwritten by later pushes.
+func (r *Ring) Dropped() int { return r.pushed - r.count }
+
+// Push appends a frame, overwriting the oldest once full.
+func (r *Ring) Push(f Frame) {
+	if r.count < len(r.frames) {
+		r.frames[(r.start+r.count)%len(r.frames)] = f
+		r.count++
+	} else {
+		r.frames[r.start] = f
+		r.start = (r.start + 1) % len(r.frames)
+	}
+	r.pushed++
+}
+
+// Frames returns the retained frames, oldest first (a copy).
+func (r *Ring) Frames() []Frame {
+	out := make([]Frame, r.count)
+	for i := 0; i < r.count; i++ {
+		out[i] = r.frames[(r.start+i)%len(r.frames)]
+	}
+	return out
+}
+
+// WriteCSV writes the retained frames as CSV: CSVHeader then one row
+// per frame, oldest first.
+func (r *Ring) WriteCSV(w io.Writer) error {
+	if _, err := io.WriteString(w, CSVHeader()+"\n"); err != nil {
+		return err
+	}
+	for i := 0; i < r.count; i++ {
+		f := &r.frames[(r.start+i)%len(r.frames)]
+		if _, err := io.WriteString(w, f.CSVRecord()+"\n"); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ringJSON is the WriteJSON document shape.
+type ringJSON struct {
+	Dropped int     `json:"dropped_frames"`
+	Frames  []Frame `json:"frames"`
+}
+
+// WriteJSON writes the retained frames (with per-cluster breakdowns)
+// as one indented JSON document.
+func (r *Ring) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(ringJSON{Dropped: r.Dropped(), Frames: r.Frames()})
+}

@@ -170,21 +170,43 @@ func (s *Slots) TotalSlots() float64 {
 	return t
 }
 
-// Fraction returns category c's share of all slots, in [0,1].
+// Fraction returns category c's share of all slots, in [0,1]. It
+// recomputes the total on every call; loops over all categories should
+// use Fractions or FractionOf with a hoisted TotalSlots instead.
 func (s *Slots) Fraction(c Category) float64 {
-	t := s.TotalSlots()
-	if t == 0 {
+	return s.FractionOf(c, s.TotalSlots())
+}
+
+// FractionOf returns category c's share of the given total — the
+// cached-total variant of Fraction for render loops that already hold
+// TotalSlots.
+func (s *Slots) FractionOf(c Category, total float64) float64 {
+	if total == 0 {
 		return 0
 	}
-	return s.Counts[c] / t
+	return s.Counts[c] / total
+}
+
+// Fractions returns every category's share of all slots in one pass,
+// summing the total once instead of once per category.
+func (s *Slots) Fractions() (f [NumCategories]float64) {
+	t := s.TotalSlots()
+	if t == 0 {
+		return f
+	}
+	for c := range f {
+		f[c] = s.Counts[c] / t
+	}
+	return f
 }
 
 // String renders a one-line percentage breakdown.
 func (s *Slots) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "cycles=%d", s.Cycles)
+	fr := s.Fractions()
 	for c := Category(0); c < NumCategories; c++ {
-		fmt.Fprintf(&b, " %s=%.1f%%", c, 100*s.Fraction(c))
+		fmt.Fprintf(&b, " %s=%.1f%%", c, 100*fr[c])
 	}
 	return b.String()
 }

@@ -157,3 +157,30 @@ func mathAbs(x float64) float64 {
 	}
 	return x
 }
+
+// TestFractionsMatchFraction: the single-pass Fractions and the
+// cached-total FractionOf must agree exactly with per-call Fraction.
+func TestFractionsMatchFraction(t *testing.T) {
+	var s Slots
+	v := Votes{0, 3, 1, 0, 2, 5, 0, 1}
+	s.RecordCycle(8, 3, &v)
+	s.RecordCycle(8, 0, &v)
+	s.RecordCycle(8, 8, &v)
+	fr := s.Fractions()
+	total := s.TotalSlots()
+	for c := Category(0); c < NumCategories; c++ {
+		if fr[c] != s.Fraction(c) {
+			t.Errorf("%v: Fractions=%v Fraction=%v", c, fr[c], s.Fraction(c))
+		}
+		if got := s.FractionOf(c, total); got != s.Fraction(c) {
+			t.Errorf("%v: FractionOf=%v Fraction=%v", c, got, s.Fraction(c))
+		}
+	}
+	var empty Slots
+	if empty.Fractions() != [NumCategories]float64{} {
+		t.Error("empty Fractions should be all zero")
+	}
+	if empty.FractionOf(Useful, 0) != 0 {
+		t.Error("FractionOf with zero total should be 0")
+	}
+}
