@@ -13,9 +13,11 @@ check: diff race
 diff:
 	go test ./internal/core -run 'TestEventDriven|TestWakeup|TestStoreForwardingMap|TestMemPath|TestObs'
 
-# Race-check the concurrent harness (suite cache + singleflight).
+# Race-check the concurrent layers: harness (suite cache +
+# singleflight + cancellation) and service (queue, two-tier cache,
+# backpressure, e2e HTTP).
 race:
-	go test -race ./internal/harness/...
+	go test -race ./internal/harness/... ./internal/service/...
 
 # Regenerate BENCH_core.json (fast-forward, wakeup and memory-path
 # speedups).

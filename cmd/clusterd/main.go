@@ -1,0 +1,120 @@
+// Command clusterd is the simulation-as-a-service daemon: a long-lived
+// HTTP front end over the simulator with a bounded job queue, a
+// two-tier content-addressed result cache, and backpressure.
+//
+//	POST /v1/jobs            submit {"app","arch","high_end","size"} → 202 (429 when full)
+//	GET  /v1/jobs/{id}       status/result (?wait=10s long-polls)
+//	GET  /v1/figures/{4578}  paper-figure matrices (?size=, ?format=text)
+//	GET  /v1/metrics/{run}   interval metrics for a simulated run (CSV/JSON)
+//	GET  /healthz            liveness + queue/cache statistics
+//
+// Identical submissions are content-addressed (SHA-256 of the resolved
+// machine + workload spec) and served from cache in microseconds; with
+// -cache-dir the cache survives restarts. Graceful shutdown (SIGINT/
+// SIGTERM) stops admission, drains running jobs, and persists the
+// cache index.
+//
+// Usage:
+//
+//	clusterd [-addr :8421] [-size ref] [-workers N] [-queue N]
+//	         [-cache-dir DIR] [-cache-entries N] [-max-cycles N]
+//	         [-metrics-interval N] [-port-file PATH]
+//	         [-drain-timeout 30s]
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"clustersmt/internal/service"
+	"clustersmt/internal/workloads"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("clusterd: ")
+
+	addr := flag.String("addr", ":8421", "listen address (host:port; port 0 picks a free port)")
+	sizeName := flag.String("size", "ref", "default input size for jobs and figures: test or ref")
+	workers := flag.Int("workers", 0, "concurrent simulation workers (0 = GOMAXPROCS)")
+	queueCap := flag.Int("queue", service.DefaultQueueCap, "job queue capacity (full queue returns 429)")
+	cacheDir := flag.String("cache-dir", "", "persist results under this directory (survives restarts)")
+	cacheEntries := flag.Int("cache-entries", 0, "in-memory result cache entries (0 = default)")
+	maxCycles := flag.Int64("max-cycles", 0, "per-simulation cycle bound (0 = core default)")
+	metricsInterval := flag.Int64("metrics-interval", 0, "sample interval metrics every N cycles (0 = off)")
+	metricsRing := flag.Int("metrics-ring", 0, "retained metrics frames per run (0 = default)")
+	portFile := flag.String("port-file", "", "write the bound port to this file once listening")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "max time to drain running jobs at shutdown")
+	flag.Parse()
+
+	size := workloads.SizeRef
+	switch strings.ToLower(*sizeName) {
+	case "ref":
+	case "test":
+		size = workloads.SizeTest
+	default:
+		log.Fatalf("unknown size %q (want test or ref)", *sizeName)
+	}
+
+	svc, err := service.New(service.Options{
+		DefaultSize:     size,
+		Workers:         *workers,
+		QueueCap:        *queueCap,
+		CacheEntries:    *cacheEntries,
+		CacheDir:        *cacheDir,
+		MaxCycles:       *maxCycles,
+		MetricsInterval: *metricsInterval,
+		MetricsRingCap:  *metricsRing,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	port := ln.Addr().(*net.TCPAddr).Port
+	if *portFile != "" {
+		if err := os.WriteFile(*portFile, []byte(fmt.Sprintf("%d\n", port)), 0o644); err != nil {
+			log.Fatal(err)
+		}
+	}
+	log.Printf("listening on %s (default size %s, queue %d)", ln.Addr(), size, *queueCap)
+
+	httpSrv := &http.Server{Handler: svc.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case <-ctx.Done():
+		log.Printf("shutting down: draining jobs (up to %s) and persisting cache index", *drainTimeout)
+	case err := <-serveErr:
+		log.Fatal(err)
+	}
+
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		log.Printf("http shutdown: %v", err)
+	}
+	if err := svc.Close(shutdownCtx); err != nil {
+		log.Printf("close: %v", err)
+	}
+	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("serve: %v", err)
+	}
+	log.Printf("bye")
+}

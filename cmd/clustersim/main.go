@@ -6,12 +6,13 @@
 // Usage:
 //
 //	clustersim [-arch SMT2] [-app ocean] [-highend] [-size ref] [-v]
-//	           [-metrics out.csv] [-metrics-interval 10000]
+//	           [-json] [-metrics out.csv] [-metrics-interval 10000]
 //	           [-trace t.json] [-trace-format chrome]
 //	           [-cpuprofile cpu.out] [-memprofile mem.out]
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -34,6 +35,7 @@ func main() {
 	highEnd := flag.Bool("highend", false, "simulate the 4-chip high-end machine instead of the 1-chip low-end")
 	sizeName := flag.String("size", "ref", "input size: test or ref")
 	verbose := flag.Bool("v", false, "print extended statistics")
+	jsonOut := flag.Bool("json", false, "print the full result as JSON instead of the text report (same encoding clusterd serves)")
 	tracePath := flag.String("trace", "", "write a pipeline trace to this file")
 	traceFormat := flag.String("trace-format", "text", "trace format: text or chrome (trace_event JSON for chrome://tracing)")
 	traceFrom := flag.Int64("trace-from", 0, "first cycle to trace")
@@ -125,6 +127,15 @@ func main() {
 		if err := writeMetrics(*metricsPath, *metricsFormat, ring); err != nil {
 			log.Fatal(err)
 		}
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			log.Fatal(err)
+		}
+		return
 	}
 
 	fmt.Printf("machine   %s (%d chip(s), %d hardware contexts)\n", m.Name, m.Chips, m.Threads())

@@ -12,15 +12,18 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"log"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"syscall"
 
 	"clustersmt"
 	"clustersmt/internal/config"
@@ -92,6 +95,12 @@ func main() {
 		out = io.MultiWriter(os.Stdout, f)
 	}
 
+	// Ctrl-C / SIGTERM cancels in-flight simulations promptly (the
+	// suite aborts them via core.Simulator.Interrupt) instead of
+	// waiting out whole ref-size runs; a second signal kills outright.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	suite := clustersmt.NewSuite(size)
 	if *metricsDir != "" || *progress {
 		suite.MetricsInterval = *metricsInterval
@@ -138,17 +147,17 @@ func main() {
 	}
 	for _, f := range []struct {
 		key string
-		fn  func() (*harness.Figure, error)
+		fn  func(context.Context) (*harness.Figure, error)
 	}{
-		{"fig4", suite.Figure4},
-		{"fig5", suite.Figure5},
-		{"fig7", suite.Figure7},
-		{"fig8", suite.Figure8},
+		{"fig4", suite.Figure4Context},
+		{"fig5", suite.Figure5Context},
+		{"fig7", suite.Figure7Context},
+		{"fig8", suite.Figure8Context},
 	} {
 		if !sel(f.key) {
 			continue
 		}
-		fig, err := f.fn()
+		fig, err := f.fn(ctx)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -167,7 +176,7 @@ func main() {
 	}
 	if sel("conclusion") {
 		for _, highEnd := range []bool{false, true} {
-			c, err := suite.Conclusion(highEnd)
+			c, err := suite.ConclusionContext(ctx, highEnd)
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -183,7 +192,7 @@ func main() {
 	}
 	if sel("model") {
 		for _, highEnd := range []bool{false, true} {
-			v, err := suite.ValidateModel(highEnd)
+			v, err := suite.ValidateModelContext(ctx, highEnd)
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -192,7 +201,7 @@ func main() {
 	}
 	if sel("fig6") {
 		for _, highEnd := range []bool{false, true} {
-			pts, err := suite.Placement(highEnd)
+			pts, err := suite.PlacementContext(ctx, highEnd)
 			if err != nil {
 				log.Fatal(err)
 			}

@@ -3,18 +3,27 @@
 // which one wins at each point — the measured counterpart of the
 // paper's Figure 1 regions.
 //
+// All grid cells route through one shared harness.Suite, so every
+// (workload, physical configuration) pair simulates at most once even
+// when the -archs list aliases silicon (FA8 and SMT8) or a grid row
+// repeats a spec, and the whole grid runs concurrently (-parallel
+// bounds the simultaneous simulations).
+//
 // Usage:
 //
-//	sweep [-archs FA8,FA4,FA2,FA1,SMT2] [-size test]
+//	sweep [-archs FA8,FA4,FA2,FA1,SMT2] [-size test] [-parallel N]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"runtime"
 	"strings"
+	"sync"
 
 	"clustersmt"
+	"clustersmt/internal/harness"
 )
 
 func main() {
@@ -23,6 +32,7 @@ func main() {
 
 	archList := flag.String("archs", "FA8,FA4,FA2,FA1,SMT2", "comma-separated architectures to race")
 	sizeName := flag.String("size", "test", "input size: test or ref")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "max simultaneous simulations")
 	flag.Parse()
 
 	var archs []clustersmt.Arch
@@ -38,9 +48,66 @@ func main() {
 		size = clustersmt.SizeRef
 	}
 
+	suite := harness.NewSuite(size)
+	suite.SetParallelism(*parallel)
+
 	// Plane axes: ParCap (threads) × ChainLen (inverse ILP).
 	caps := []int{1, 2, 4, 0} // 0 = all 8 contexts
 	chains := []int{0, 2, 4, 8}
+
+	// Launch the whole grid up front; the suite's semaphore bounds the
+	// real concurrency and its singleflight deduplicates any cell/arch
+	// pairs that resolve to the same physical run (e.g. FA8 and SMT8
+	// both in -archs).
+	type point struct {
+		chain, parCap int
+		arch          string
+	}
+	cycles := make(map[point]int64)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for _, ch := range chains {
+		for _, cp := range caps {
+			spec := clustersmt.SyntheticSpec{
+				ParCap:   cp,
+				ChainLen: ch,
+				IndepOps: 6 - min(6, ch),
+				Iters:    2048,
+			}
+			w := clustersmt.Synthetic(spec)
+			for _, a := range archs {
+				wg.Add(1)
+				go func(ch, cp int, a clustersmt.Arch) {
+					defer wg.Done()
+					res, err := suite.Run(w, a, false)
+					if err != nil {
+						log.Fatal(err)
+					}
+					mu.Lock()
+					cycles[point{ch, cp, a.Name}] = res.Cycles
+					mu.Unlock()
+				}(ch, cp, a)
+			}
+		}
+	}
+	wg.Wait()
+
+	// Winners resolve deterministically after the fact: fewest cycles,
+	// -archs order breaking ties (the old sequential behavior).
+	type cell struct{ chain, parCap int }
+	winners := make(map[cell]string)
+	for _, ch := range chains {
+		for _, cp := range caps {
+			best, bestCycles := "", int64(0)
+			for _, a := range archs {
+				c := cycles[point{ch, cp, a.Name}]
+				if best == "" || c < bestCycles {
+					best, bestCycles = a.Name, c
+				}
+			}
+			winners[cell{ch, cp}] = best
+		}
+	}
 
 	fmt.Println("winner at each (threads x ILP) point (rows: dependence chain, columns: parallel width)")
 	fmt.Printf("%-18s", "")
@@ -52,29 +119,11 @@ func main() {
 		fmt.Printf("%10s", label)
 	}
 	fmt.Println()
-
 	for _, ch := range chains {
 		label := fmt.Sprintf("chain=%d (ILP~%s)", ch, ilpLabel(ch))
 		fmt.Printf("%-18s", label)
 		for _, cp := range caps {
-			spec := clustersmt.SyntheticSpec{
-				ParCap:   cp,
-				ChainLen: ch,
-				IndepOps: 6 - min(6, ch),
-				Iters:    2048,
-			}
-			w := clustersmt.Synthetic(spec)
-			best, bestCycles := "", int64(0)
-			for _, a := range archs {
-				res, err := clustersmt.Simulate(clustersmt.LowEnd(a), w, size)
-				if err != nil {
-					log.Fatal(err)
-				}
-				if best == "" || res.Cycles < bestCycles {
-					best, bestCycles = a.Name, res.Cycles
-				}
-			}
-			fmt.Printf("%10s", best)
+			fmt.Printf("%10s", winners[cell{ch, cp}])
 		}
 		fmt.Println()
 	}

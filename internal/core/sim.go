@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 
 	"clustersmt/internal/coherence"
@@ -13,6 +14,16 @@ import (
 
 // DefaultMaxCycles bounds runaway simulations (livelocked kernels).
 const DefaultMaxCycles = 2_000_000_000
+
+// ErrInterrupted is returned (wrapped) by Run when the Interrupt
+// channel fires before the simulation completes.
+var ErrInterrupted = errors.New("run interrupted")
+
+// interruptPeriod is how many Run-loop iterations pass between polls of
+// the Interrupt channel. Each iteration advances at least one cycle (or
+// one fast-forward jump), so cancellation latency is bounded by a few
+// thousand simulated cycles while the poll stays off the hot path.
+const interruptPeriod = 1024
 
 // Simulator executes one program on one machine, cycle by cycle. It is
 // strictly deterministic and single-goroutine.
@@ -70,6 +81,13 @@ type Simulator struct {
 
 	// MaxCycles aborts the run when exceeded (safety net).
 	MaxCycles int64
+
+	// Interrupt, when non-nil, is polled periodically during Run (every
+	// interruptPeriod loop iterations); once it is closed or receives,
+	// Run returns ErrInterrupted promptly. It is how callers plumb
+	// context cancellation into a run without putting a context on the
+	// per-cycle hot path. Must be set before Run.
+	Interrupt <-chan struct{}
 
 	tr  *tracer
 	obs *sampler
@@ -223,10 +241,21 @@ func (s *Simulator) Run() (*Result, error) {
 	idle := false
 	failStreak := 0
 	probeAt := int64(0)
+	interruptCountdown := interruptPeriod
 	for !s.done() {
 		if s.cycle >= s.MaxCycles {
 			return nil, fmt.Errorf("core: %s: exceeded %d cycles (committed %d instrs); livelock?",
 				s.Machine.Name, s.MaxCycles, s.committed)
+		}
+		if s.Interrupt != nil {
+			if interruptCountdown--; interruptCountdown <= 0 {
+				interruptCountdown = interruptPeriod
+				select {
+				case <-s.Interrupt:
+					return nil, fmt.Errorf("core: %s: %w at cycle %d", s.Machine.Name, ErrInterrupted, s.cycle)
+				default:
+				}
+			}
 		}
 		if idle && s.EventDriven && s.cycle >= probeAt {
 			if s.fastForward() {

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -117,10 +118,15 @@ func AdjustClock(fig *Figure) *Conclusion {
 // returns the cycle-time-adjusted comparison across all seven
 // architectures — the paper's bottom line in one table.
 func (s *Suite) Conclusion(highEnd bool) (*Conclusion, error) {
+	return s.ConclusionContext(context.Background(), highEnd)
+}
+
+// ConclusionContext is Conclusion with caller cancellation.
+func (s *Suite) ConclusionContext(ctx context.Context, highEnd bool) (*Conclusion, error) {
 	apps := workloads.All()
 	archs := []config.Arch{config.FA8, config.FA4, config.FA2, config.FA1,
 		config.SMT4, config.SMT2, config.SMT1}
-	res, err := s.RunMatrix(apps, archs, highEnd)
+	res, err := s.RunMatrixContext(ctx, apps, archs, highEnd)
 	if err != nil {
 		return nil, err
 	}

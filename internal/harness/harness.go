@@ -9,6 +9,8 @@
 package harness
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
 	"runtime"
@@ -88,6 +90,22 @@ func NewSuite(size workloads.Size) *Suite {
 	}
 }
 
+// SetParallelism bounds the number of simulations the suite runs
+// concurrently (cmd/sweep's -parallel flag). It must be called before
+// the first Run; changing the bound under in-flight runs would leak or
+// deadlock semaphore slots, so it panics once anything is cached.
+func (s *Suite) SetParallelism(n int) {
+	if n < 1 {
+		n = 1
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.cache) > 0 {
+		panic("harness: SetParallelism after runs have started")
+	}
+	s.sem = make(chan struct{}, n)
+}
+
 func key(app string, arch config.Arch, chips int) runKey {
 	return runKey{app: app, clusters: arch.Clusters, issue: arch.IssueWidth,
 		tpc: arch.ThreadsPerCluster, chips: chips}
@@ -97,34 +115,82 @@ func key(app string, arch config.Arch, chips int) runKey {
 // returning a cached result when the same physical configuration was
 // already run (FA8 and SMT8 share results by construction).
 func (s *Suite) Run(app workloads.Workload, arch config.Arch, highEnd bool) (*core.Result, error) {
+	return s.RunContext(context.Background(), app, arch, highEnd)
+}
+
+// canceled reports whether err is a cancellation rather than a real
+// simulation failure. Cancellations are never cached: the canceling
+// caller's entry is removed so the next identical request re-runs.
+func canceled(err error) bool {
+	return errors.Is(err, context.Canceled) ||
+		errors.Is(err, context.DeadlineExceeded) ||
+		errors.Is(err, core.ErrInterrupted)
+}
+
+// RunContext is Run with caller cancellation: when ctx is done, the
+// in-flight simulation aborts promptly (core.Simulator.Interrupt) and
+// RunContext returns ctx's error. A canceled run is removed from the
+// cache rather than cached, so it cannot poison later identical
+// requests; waiters that were sharing the canceled run retry and one of
+// them becomes the new owner. Real simulation errors are still cached
+// like results (a failing configuration simulates once, not once per
+// figure that includes it).
+func (s *Suite) RunContext(ctx context.Context, app workloads.Workload, arch config.Arch, highEnd bool) (*core.Result, error) {
 	m := config.LowEnd(arch)
 	if highEnd {
 		m = config.HighEnd(arch)
 	}
 	k := key(app.Name, arch, m.Chips)
 
-	s.mu.Lock()
-	if fl, ok := s.cache[k]; ok {
+	for {
+		s.mu.Lock()
+		fl, ok := s.cache[k]
+		if ok {
+			s.mu.Unlock()
+			// Another caller owns (or already finished) this run; wait
+			// for it without holding a semaphore slot.
+			select {
+			case <-fl.done:
+			case <-ctx.Done():
+				return nil, fmt.Errorf("harness: %s on %s: %w", app.Name, m.Name, ctx.Err())
+			}
+			if fl.err != nil && canceled(fl.err) {
+				// The owner was canceled (and removed the entry before
+				// closing done); this caller is still live, so retry —
+				// it may become the new owner.
+				continue
+			}
+			return fl.res, fl.err
+		}
+		fl = &inflight{done: make(chan struct{})}
+		s.cache[k] = fl
 		s.mu.Unlock()
-		// Another caller owns (or already finished) this run; wait for
-		// it without holding a semaphore slot.
-		<-fl.done
+
+		fl.res, fl.err = s.runOwned(ctx, app, m)
+		if fl.err != nil && canceled(fl.err) {
+			s.mu.Lock()
+			delete(s.cache, k)
+			s.mu.Unlock()
+		}
+		close(fl.done)
 		return fl.res, fl.err
 	}
-	fl := &inflight{done: make(chan struct{})}
-	s.cache[k] = fl
-	s.mu.Unlock()
-	defer close(fl.done)
+}
 
-	s.sem <- struct{}{}
+// runOwned acquires a semaphore slot and simulates; it is the owner
+// half of RunContext's singleflight.
+func (s *Suite) runOwned(ctx context.Context, app workloads.Workload, m config.Machine) (*core.Result, error) {
+	select {
+	case s.sem <- struct{}{}:
+	case <-ctx.Done():
+		return nil, fmt.Errorf("harness: %s on %s: %w", app.Name, m.Name, ctx.Err())
+	}
 	defer func() { <-s.sem }()
-
-	fl.res, fl.err = s.simulate(app, m)
-	return fl.res, fl.err
+	return s.simulate(ctx, app, m)
 }
 
 // simulate performs one uncached simulation.
-func (s *Suite) simulate(app workloads.Workload, m config.Machine) (*core.Result, error) {
+func (s *Suite) simulate(ctx context.Context, app workloads.Workload, m config.Machine) (*core.Result, error) {
 	p := app.Build(m.Threads(), m.Chips, s.Size)
 	sim, err := core.New(m, p)
 	if err != nil {
@@ -133,6 +199,7 @@ func (s *Suite) simulate(app workloads.Workload, m config.Machine) (*core.Result
 	if s.MaxCycles > 0 {
 		sim.MaxCycles = s.MaxCycles
 	}
+	sim.Interrupt = ctx.Done()
 	if s.MetricsInterval > 0 || s.OnFrame != nil {
 		ring := sim.EnableMetrics(s.MetricsInterval, s.MetricsRingCap)
 		if s.OnFrame != nil {
@@ -148,6 +215,12 @@ func (s *Suite) simulate(app workloads.Workload, m config.Machine) (*core.Result
 	}
 	r, err := sim.Run()
 	if err != nil {
+		if errors.Is(err, core.ErrInterrupted) && ctx.Err() != nil {
+			// Surface the caller's cancellation (errors.Is-compatible
+			// with context.Canceled / DeadlineExceeded) rather than the
+			// core-internal interrupt.
+			return nil, fmt.Errorf("harness: %s on %s: %w", app.Name, m.Name, ctx.Err())
+		}
 		return nil, fmt.Errorf("harness: %s on %s: %w", app.Name, m.Name, err)
 	}
 	return r, nil
@@ -196,6 +269,14 @@ func (s *Suite) WriteMetricsJSON(w io.Writer, run string) error {
 // RunMatrix runs every (app × arch) pair concurrently and returns the
 // results indexed [app][arch.Name].
 func (s *Suite) RunMatrix(apps []workloads.Workload, archs []config.Arch, highEnd bool) (map[string]map[string]*core.Result, error) {
+	return s.RunMatrixContext(context.Background(), apps, archs, highEnd)
+}
+
+// RunMatrixContext is RunMatrix with caller cancellation: once ctx is
+// done, in-flight simulations abort promptly and the matrix returns the
+// cancellation error. It is safe for concurrent callers — overlapping
+// matrices share cached runs through the singleflight.
+func (s *Suite) RunMatrixContext(ctx context.Context, apps []workloads.Workload, archs []config.Arch, highEnd bool) (map[string]map[string]*core.Result, error) {
 	type item struct {
 		app  workloads.Workload
 		arch config.Arch
@@ -217,7 +298,7 @@ func (s *Suite) RunMatrix(apps []workloads.Workload, archs []config.Arch, highEn
 		wg.Add(1)
 		go func(it item) {
 			defer wg.Done()
-			r, err := s.Run(it.app, it.arch, highEnd)
+			r, err := s.RunContext(ctx, it.app, it.arch, highEnd)
 			mu.Lock()
 			defer mu.Unlock()
 			if err != nil {
@@ -349,9 +430,12 @@ func buildFigure(title string, apps []workloads.Workload, archs []config.Arch,
 
 // Figure4 reproduces Figure 4: FA processors vs the clustered SMT2 on
 // the low-end machine.
-func (s *Suite) Figure4() (*Figure, error) {
+func (s *Suite) Figure4() (*Figure, error) { return s.Figure4Context(context.Background()) }
+
+// Figure4Context is Figure4 with caller cancellation.
+func (s *Suite) Figure4Context(ctx context.Context) (*Figure, error) {
 	apps := workloads.All()
-	res, err := s.RunMatrix(apps, FAFigureArchs, false)
+	res, err := s.RunMatrixContext(ctx, apps, FAFigureArchs, false)
 	if err != nil {
 		return nil, err
 	}
@@ -360,9 +444,12 @@ func (s *Suite) Figure4() (*Figure, error) {
 
 // Figure5 reproduces Figure 5: the same comparison on the 4-chip
 // high-end machine.
-func (s *Suite) Figure5() (*Figure, error) {
+func (s *Suite) Figure5() (*Figure, error) { return s.Figure5Context(context.Background()) }
+
+// Figure5Context is Figure5 with caller cancellation.
+func (s *Suite) Figure5Context(ctx context.Context) (*Figure, error) {
 	apps := workloads.All()
-	res, err := s.RunMatrix(apps, FAFigureArchs, true)
+	res, err := s.RunMatrixContext(ctx, apps, FAFigureArchs, true)
 	if err != nil {
 		return nil, err
 	}
@@ -370,9 +457,12 @@ func (s *Suite) Figure5() (*Figure, error) {
 }
 
 // Figure7 reproduces Figure 7: clustered vs centralized SMTs, low-end.
-func (s *Suite) Figure7() (*Figure, error) {
+func (s *Suite) Figure7() (*Figure, error) { return s.Figure7Context(context.Background()) }
+
+// Figure7Context is Figure7 with caller cancellation.
+func (s *Suite) Figure7Context(ctx context.Context) (*Figure, error) {
 	apps := workloads.All()
-	res, err := s.RunMatrix(apps, SMTFigureArchs, false)
+	res, err := s.RunMatrixContext(ctx, apps, SMTFigureArchs, false)
 	if err != nil {
 		return nil, err
 	}
@@ -380,13 +470,32 @@ func (s *Suite) Figure7() (*Figure, error) {
 }
 
 // Figure8 reproduces Figure 8: clustered vs centralized SMTs, high-end.
-func (s *Suite) Figure8() (*Figure, error) {
+func (s *Suite) Figure8() (*Figure, error) { return s.Figure8Context(context.Background()) }
+
+// Figure8Context is Figure8 with caller cancellation.
+func (s *Suite) Figure8Context(ctx context.Context) (*Figure, error) {
 	apps := workloads.All()
-	res, err := s.RunMatrix(apps, SMTFigureArchs, true)
+	res, err := s.RunMatrixContext(ctx, apps, SMTFigureArchs, true)
 	if err != nil {
 		return nil, err
 	}
 	return buildFigure("Figure 8: clustered vs centralized SMT, high-end machine", apps, SMTFigureArchs, res), nil
+}
+
+// FigureByNumber resolves a paper figure (4, 5, 7 or 8) to its
+// generator — the serving subsystem's figure endpoint dispatch.
+func (s *Suite) FigureByNumber(ctx context.Context, n int) (*Figure, error) {
+	switch n {
+	case 4:
+		return s.Figure4Context(ctx)
+	case 5:
+		return s.Figure5Context(ctx)
+	case 7:
+		return s.Figure7Context(ctx)
+	case 8:
+		return s.Figure8Context(ctx)
+	}
+	return nil, fmt.Errorf("harness: no figure %d (want 4, 5, 7 or 8)", n)
 }
 
 // Placement measures each application's Figure 6 point: thread
@@ -395,8 +504,13 @@ func (s *Suite) Figure8() (*Figure, error) {
 // useful IPC per running thread on FA1 (the architecture enabling the
 // most ILP).
 func (s *Suite) Placement(highEnd bool) (map[string]model.Point, error) {
+	return s.PlacementContext(context.Background(), highEnd)
+}
+
+// PlacementContext is Placement with caller cancellation.
+func (s *Suite) PlacementContext(ctx context.Context, highEnd bool) (map[string]model.Point, error) {
 	apps := workloads.All()
-	res, err := s.RunMatrix(apps, []config.Arch{config.FA8, config.FA1}, highEnd)
+	res, err := s.RunMatrixContext(ctx, apps, []config.Arch{config.FA8, config.FA1}, highEnd)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -66,17 +67,22 @@ func (v *ModelValidation) Render() string {
 // placement measurement, then asks the analytical model which FA
 // processor each application point favors.
 func (s *Suite) ValidateModel(highEnd bool) (*ModelValidation, error) {
+	return s.ValidateModelContext(context.Background(), highEnd)
+}
+
+// ValidateModelContext is ValidateModel with caller cancellation.
+func (s *Suite) ValidateModelContext(ctx context.Context, highEnd bool) (*ModelValidation, error) {
 	var fig *Figure
 	var err error
 	if highEnd {
-		fig, err = s.Figure5()
+		fig, err = s.Figure5Context(ctx)
 	} else {
-		fig, err = s.Figure4()
+		fig, err = s.Figure4Context(ctx)
 	}
 	if err != nil {
 		return nil, err
 	}
-	pts, err := s.Placement(highEnd)
+	pts, err := s.PlacementContext(ctx, highEnd)
 	if err != nil {
 		return nil, err
 	}

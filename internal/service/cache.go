@@ -1,0 +1,261 @@
+package service
+
+import (
+	"container/list"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"clustersmt/internal/core"
+)
+
+// Cache tiers reported in job responses.
+const (
+	TierMemory = "memory"
+	TierDisk   = "disk"
+)
+
+// Cache is the two-tier content-addressed result store. Tier 1 is an
+// in-memory LRU keyed by the job's spec hash; it sits *over* the
+// harness singleflight (which deduplicates concurrent identical runs
+// within one process lifetime) and serves completed results without
+// touching a Suite. Tier 2, enabled by a non-empty directory, persists
+// one JSON envelope per result keyed by the hex hash, so identical
+// submissions are served across daemon restarts; disk hits are promoted
+// into the LRU. An index file summarizing the store is persisted on
+// Close for inspection (it is advisory — lookups go straight to the
+// per-entry files, so a stale or missing index never serves stale
+// results).
+type Cache struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List // front = most recently used
+	items map[[32]byte]*list.Element
+	dir   string // "" = memory-only
+
+	index map[string]IndexEntry // hex hash -> summary (disk tier only)
+
+	hits, diskHits, misses uint64
+}
+
+type cacheEntry struct {
+	key [32]byte
+	res *core.Result
+}
+
+// IndexEntry is one line of the persisted cache index.
+type IndexEntry struct {
+	Hash    string `json:"hash"`
+	App     string `json:"app"`
+	Machine string `json:"machine"`
+	Cycles  int64  `json:"cycles"`
+}
+
+// envelope is the on-disk per-entry format.
+type envelope struct {
+	Hash   string       `json:"hash"`
+	Spec   JobSpec      `json:"spec"`
+	Result *core.Result `json:"result"`
+}
+
+// DefaultCacheEntries bounds the in-memory LRU when the caller passes 0.
+const DefaultCacheEntries = 256
+
+// NewCache returns a cache holding up to capEntries results in memory
+// (0 = DefaultCacheEntries) and, when dir is non-empty, persisting
+// every stored result under it (the directory is created if needed and
+// any existing index is loaded).
+func NewCache(capEntries int, dir string) (*Cache, error) {
+	if capEntries <= 0 {
+		capEntries = DefaultCacheEntries
+	}
+	c := &Cache{
+		cap:   capEntries,
+		ll:    list.New(),
+		items: make(map[[32]byte]*list.Element),
+		dir:   dir,
+		index: make(map[string]IndexEntry),
+	}
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("service: cache dir: %w", err)
+		}
+		if raw, err := os.ReadFile(filepath.Join(dir, "index.json")); err == nil {
+			var entries []IndexEntry
+			if err := json.Unmarshal(raw, &entries); err == nil {
+				for _, e := range entries {
+					c.index[e.Hash] = e
+				}
+			}
+			// A corrupt index is discarded silently: it is advisory, and
+			// rebuilding it from Puts is always safe.
+		}
+	}
+	return c, nil
+}
+
+// Get returns the cached result for key and the tier that served it.
+func (c *Cache) Get(key [32]byte) (res *core.Result, tier string, ok bool) {
+	c.mu.Lock()
+	if el, hit := c.items[key]; hit {
+		c.ll.MoveToFront(el)
+		c.hits++
+		res = el.Value.(*cacheEntry).res
+		c.mu.Unlock()
+		return res, TierMemory, true
+	}
+	c.mu.Unlock()
+
+	if c.dir == "" {
+		c.miss()
+		return nil, "", false
+	}
+	raw, err := os.ReadFile(c.path(key))
+	if err != nil {
+		c.miss()
+		return nil, "", false
+	}
+	var env envelope
+	if err := json.Unmarshal(raw, &env); err != nil || env.Result == nil {
+		// A truncated or corrupt entry is treated as a miss; the next
+		// Put rewrites it atomically.
+		c.miss()
+		return nil, "", false
+	}
+	c.mu.Lock()
+	c.diskHits++
+	c.insertLocked(key, env.Result)
+	c.mu.Unlock()
+	return env.Result, TierDisk, true
+}
+
+func (c *Cache) miss() {
+	c.mu.Lock()
+	c.misses++
+	c.mu.Unlock()
+}
+
+// Put stores a result under key in both tiers. The disk write is
+// atomic (temp file + rename), so a crash mid-write leaves either the
+// old entry or none — never a torn one.
+func (c *Cache) Put(key [32]byte, spec JobSpec, res *core.Result) error {
+	c.mu.Lock()
+	c.insertLocked(key, res)
+	hex := fmt.Sprintf("%x", key)
+	if c.dir != "" {
+		c.index[hex] = IndexEntry{
+			Hash:    hex,
+			App:     res.ProgramName,
+			Machine: res.Machine.Name,
+			Cycles:  res.Cycles,
+		}
+	}
+	c.mu.Unlock()
+
+	if c.dir == "" {
+		return nil
+	}
+	raw, err := json.Marshal(envelope{Hash: hex, Spec: spec, Result: res})
+	if err != nil {
+		return fmt.Errorf("service: encode cache entry: %w", err)
+	}
+	tmp, err := os.CreateTemp(c.dir, "put-*.tmp")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(raw); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), c.path(key))
+}
+
+func (c *Cache) insertLocked(key [32]byte, res *core.Result) {
+	if el, ok := c.items[key]; ok {
+		el.Value.(*cacheEntry).res = res
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, res: res})
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+func (c *Cache) path(key [32]byte) string {
+	return filepath.Join(c.dir, fmt.Sprintf("%x.json", key))
+}
+
+// Stats is a point-in-time cache summary for /healthz.
+type Stats struct {
+	Entries  int    `json:"entries"`
+	Capacity int    `json:"capacity"`
+	Hits     uint64 `json:"hits"`
+	DiskHits uint64 `json:"disk_hits"`
+	Misses   uint64 `json:"misses"`
+	Disk     bool   `json:"disk"`
+}
+
+// Stats returns the current counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{
+		Entries:  c.ll.Len(),
+		Capacity: c.cap,
+		Hits:     c.hits,
+		DiskHits: c.diskHits,
+		Misses:   c.misses,
+		Disk:     c.dir != "",
+	}
+}
+
+// Index returns the persisted-store summary, sorted by hash.
+func (c *Cache) Index() []IndexEntry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]IndexEntry, 0, len(c.index))
+	for _, e := range c.index {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return strings.Compare(out[i].Hash, out[j].Hash) < 0 })
+	return out
+}
+
+// Close persists the cache index (disk tier only). The per-entry files
+// are already durable; the index is the human/tooling summary written
+// once at graceful shutdown.
+func (c *Cache) Close() error {
+	if c.dir == "" {
+		return nil
+	}
+	raw, err := json.MarshalIndent(c.Index(), "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(c.dir, "index-*.tmp")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(raw); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), filepath.Join(c.dir, "index.json"))
+}

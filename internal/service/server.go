@@ -1,0 +1,389 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"clustersmt/internal/core"
+	"clustersmt/internal/harness"
+	"clustersmt/internal/workloads"
+)
+
+// Options configures a Server. Zero values mean: test-size default,
+// GOMAXPROCS workers, DefaultQueueCap queue, DefaultCacheEntries LRU,
+// memory-only cache, core-default cycle bound, metrics off.
+type Options struct {
+	// DefaultSize is the input size used when a job or figure request
+	// does not name one.
+	DefaultSize workloads.Size
+	// Workers bounds concurrent simulations (0 = GOMAXPROCS).
+	Workers int
+	// QueueCap bounds the admission FIFO (0 = DefaultQueueCap). A full
+	// queue rejects submissions with 429 + Retry-After.
+	QueueCap int
+	// CacheEntries bounds the in-memory result LRU (0 = default).
+	CacheEntries int
+	// CacheDir, when non-empty, enables the persistent result store.
+	CacheDir string
+	// MaxCycles bounds each simulation (0 = core default).
+	MaxCycles int64
+	// MetricsInterval > 0 samples interval metrics on every simulation,
+	// served by GET /v1/metrics/{run}.
+	MetricsInterval int64
+	// MetricsRingCap bounds retained frames per run (0 = obs default).
+	MetricsRingCap int
+}
+
+// Server is the serving subsystem: job queue + worker pool + two-tier
+// result cache + figure/metrics endpoints over a pair of harness
+// suites (one per input size).
+type Server struct {
+	opts  Options
+	cache *Cache
+	pool  *Pool
+
+	suiteMu sync.Mutex
+	suites  map[workloads.Size]*harness.Suite
+
+	jobsMu sync.Mutex
+	jobs   map[string]*Job
+	order  []string
+	seq    atomic.Uint64
+
+	started time.Time
+	closed  atomic.Bool
+}
+
+// New builds a Server (workers started, cache loaded) ready for
+// Handler to be mounted.
+func New(opts Options) (*Server, error) {
+	cache, err := NewCache(opts.CacheEntries, opts.CacheDir)
+	if err != nil {
+		return nil, err
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	s := &Server{
+		opts:    opts,
+		cache:   cache,
+		suites:  make(map[workloads.Size]*harness.Suite),
+		jobs:    make(map[string]*Job),
+		started: time.Now(),
+	}
+	s.pool = NewPool(workers, opts.QueueCap, s.runJob)
+	return s, nil
+}
+
+// suite returns (creating on first use) the harness suite for size.
+// Each suite carries its own singleflight cache, so identical
+// simulations already in flight are shared even before the result
+// lands in the service cache.
+func (s *Server) suite(size workloads.Size) *harness.Suite {
+	s.suiteMu.Lock()
+	defer s.suiteMu.Unlock()
+	st, ok := s.suites[size]
+	if !ok {
+		st = harness.NewSuite(size)
+		st.MaxCycles = s.opts.MaxCycles
+		st.MetricsInterval = s.opts.MetricsInterval
+		st.MetricsRingCap = s.opts.MetricsRingCap
+		// The pool already bounds admission; let the suite run whatever
+		// the workers hand it (figure endpoints share the same suite and
+		// add their own demand, still bounded by GOMAXPROCS inside).
+		s.suites[size] = st
+	}
+	return st
+}
+
+// runJob executes one admitted job: cache check (a concurrent earlier
+// submission may have completed while this one sat in the queue), then
+// a context-aware suite run, then cache fill.
+func (s *Server) runJob(ctx context.Context, j *Job) {
+	if res, tier, ok := s.cache.Get(j.Hash); ok {
+		j.Complete(res, tier)
+		return
+	}
+	rj := j.Rj
+	res, err := s.suite(rj.Size).RunContext(ctx, rj.Workload, rj.Arch, rj.Spec.HighEnd)
+	if err != nil {
+		j.Fail(err)
+		return
+	}
+	// A failed disk write degrades this entry to memory-only; the
+	// result itself is still good, so the job completes regardless.
+	_ = s.cache.Put(j.Hash, rj.Spec, res)
+	j.Complete(res, "")
+}
+
+// Close drains the pool (bounded by ctx — expired deadlines cancel
+// in-flight simulations) and persists the cache index. It is the
+// graceful-shutdown path behind clusterd's signal handler.
+func (s *Server) Close(ctx context.Context) error {
+	if s.closed.Swap(true) {
+		return nil
+	}
+	s.pool.Drain(ctx)
+	return s.cache.Close()
+}
+
+// Handler returns the HTTP API:
+//
+//	POST /v1/jobs            submit a simulation {app, arch, high_end, size}
+//	GET  /v1/jobs            list jobs
+//	GET  /v1/jobs/{id}       job status/result (?wait=10s long-polls)
+//	GET  /v1/figures/{n}     paper figure 4/5/7/8 (?size=, ?format=text)
+//	GET  /v1/metrics         list runs with retained interval metrics
+//	GET  /v1/metrics/{run}   one run's frames (?format=csv|json)
+//	GET  /healthz            liveness + queue/cache stats
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleListJobs)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
+	mux.HandleFunc("GET /v1/figures/{n}", s.handleFigure)
+	mux.HandleFunc("GET /v1/metrics", s.handleListMetrics)
+	mux.HandleFunc("GET /v1/metrics/{run...}", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	return mux
+}
+
+// jobView is the wire form of a Job.
+type jobView struct {
+	ID        string       `json:"id"`
+	Spec      JobSpec      `json:"spec"`
+	Hash      string       `json:"hash"`
+	Status    string       `json:"status"`
+	CacheHit  bool         `json:"cache_hit"`
+	CacheTier string       `json:"cache_tier,omitempty"`
+	Error     string       `json:"error,omitempty"`
+	Result    *core.Result `json:"result,omitempty"`
+}
+
+func (j *Job) view() jobView {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return jobView{
+		ID:        j.ID,
+		Spec:      j.Rj.Spec,
+		Hash:      j.Rj.HashHex(),
+		Status:    j.state,
+		CacheHit:  j.cacheHit,
+		CacheTier: j.cacheTier,
+		Error:     j.errMsg,
+		Result:    j.res,
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("service: bad job spec: %w", err))
+		return
+	}
+	rj, err := spec.Resolve(s.opts.DefaultSize)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	j := NewJob(fmt.Sprintf("j%d", s.seq.Add(1)), rj)
+	j.ID = fmt.Sprintf("%s-%x", j.ID, j.Hash[:4])
+
+	// Content-addressed fast path: an identical submission whose result
+	// is already cached is served immediately — it never occupies a
+	// queue slot, so cached traffic cannot be 429'd by a full queue.
+	if res, tier, ok := s.cache.Get(j.Hash); ok {
+		j.Complete(res, tier)
+		s.rememberJob(j)
+		writeJSON(w, http.StatusOK, j.view())
+		return
+	}
+
+	if err := s.pool.Submit(j); err != nil {
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfter()))
+		writeError(w, http.StatusTooManyRequests, err)
+		return
+	}
+	s.rememberJob(j)
+	w.Header().Set("Location", "/v1/jobs/"+j.ID)
+	writeJSON(w, http.StatusAccepted, j.view())
+}
+
+// retryAfter estimates (in whole seconds, floor 1) when a queue slot
+// may free up: pending work divided by worker parallelism, assuming
+// roughly a second per simulation — deliberately coarse, the point is
+// to pace retries, not to promise.
+func (s *Server) retryAfter() int {
+	n := (s.pool.Depth() + s.pool.Running()) / s.pool.Workers()
+	if n < 1 {
+		n = 1
+	}
+	if n > 60 {
+		n = 60
+	}
+	return n
+}
+
+func (s *Server) rememberJob(j *Job) {
+	s.jobsMu.Lock()
+	s.jobs[j.ID] = j
+	s.order = append(s.order, j.ID)
+	s.jobsMu.Unlock()
+}
+
+func (s *Server) lookupJob(id string) (*Job, bool) {
+	s.jobsMu.Lock()
+	defer s.jobsMu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookupJob(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("service: no job %q", r.PathValue("id")))
+		return
+	}
+	if waitStr := r.URL.Query().Get("wait"); waitStr != "" {
+		d, err := time.ParseDuration(waitStr)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("service: bad wait %q: %w", waitStr, err))
+			return
+		}
+		select {
+		case <-j.Done():
+		case <-time.After(d):
+		case <-r.Context().Done():
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, j.view())
+}
+
+func (s *Server) handleListJobs(w http.ResponseWriter, r *http.Request) {
+	s.jobsMu.Lock()
+	views := make([]jobView, 0, len(s.order))
+	for _, id := range s.order {
+		views = append(views, s.jobs[id].view())
+	}
+	s.jobsMu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": views})
+}
+
+// sizeParam resolves the ?size= query (default: server default).
+func (s *Server) sizeParam(r *http.Request) (workloads.Size, error) {
+	switch r.URL.Query().Get("size") {
+	case "":
+		return s.opts.DefaultSize, nil
+	case "test":
+		return workloads.SizeTest, nil
+	case "ref":
+		return workloads.SizeRef, nil
+	}
+	return 0, fmt.Errorf("service: unknown size %q (want test or ref)", r.URL.Query().Get("size"))
+}
+
+func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
+	n, err := strconv.Atoi(r.PathValue("n"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("service: bad figure number %q", r.PathValue("n")))
+		return
+	}
+	size, err := s.sizeParam(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	// Figure matrices run synchronously under the request context:
+	// client disconnect cancels the in-flight simulations (the suite
+	// singleflight hands unfinished runs off to any surviving caller).
+	fig, err := s.suite(size).FigureByNumber(r.Context(), n)
+	if err != nil {
+		if r.Context().Err() != nil {
+			return // client went away; nothing to write
+		}
+		status := http.StatusInternalServerError
+		if n != 4 && n != 5 && n != 7 && n != 8 {
+			status = http.StatusNotFound
+		}
+		writeError(w, status, err)
+		return
+	}
+	if r.URL.Query().Get("format") == "text" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, fig.Render())
+		return
+	}
+	writeJSON(w, http.StatusOK, fig)
+}
+
+func (s *Server) handleListMetrics(w http.ResponseWriter, r *http.Request) {
+	size, err := s.sizeParam(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"metrics_enabled": s.opts.MetricsInterval > 0,
+		"runs":            s.suite(size).MetricsRuns(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	size, err := s.sizeParam(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	run := r.PathValue("run")
+	suite := s.suite(size)
+	if suite.Metrics(run) == nil {
+		writeError(w, http.StatusNotFound, fmt.Errorf("service: no metrics retained for %q (is -metrics-interval set?)", run))
+		return
+	}
+	if r.URL.Query().Get("format") == "json" {
+		w.Header().Set("Content-Type", "application/json")
+		_ = suite.WriteMetricsJSON(w, run)
+		return
+	}
+	w.Header().Set("Content-Type", "text/csv")
+	_ = suite.WriteMetricsCSV(w, run)
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	accepted, rejected, completed := s.pool.Counters()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":         "ok",
+		"uptime_seconds": int64(time.Since(s.started).Seconds()),
+		"queue": map[string]any{
+			"depth":     s.pool.Depth(),
+			"capacity":  s.pool.Cap(),
+			"running":   s.pool.Running(),
+			"workers":   s.pool.Workers(),
+			"accepted":  accepted,
+			"rejected":  rejected,
+			"completed": completed,
+		},
+		"cache": s.cache.Stats(),
+	})
+}

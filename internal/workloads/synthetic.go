@@ -63,8 +63,12 @@ func (s SyntheticSpec) withDefaults() SyntheticSpec {
 func Synthetic(spec SyntheticSpec) Workload {
 	spec = spec.withDefaults()
 	return Workload{
-		Name: fmt.Sprintf("synth(p%d,c%d,i%d,m%d)",
-			spec.ParCap, spec.ChainLen, spec.IndepOps, spec.MemOps),
+		// The name encodes the full defaulted spec: harness.Suite keys
+		// its run cache by workload name, so two distinct specs must
+		// never share one (and two equal specs always do).
+		Name: fmt.Sprintf("synth(p%d,c%d,i%d,m%d,f%d,n%d,s%d,t%d)",
+			spec.ParCap, spec.ChainLen, spec.IndepOps, spec.MemOps,
+			spec.FootprintKB, spec.Iters, spec.SerialIters, spec.Steps),
 		Description: "parameterized synthetic workload (threads x ILP plane generator)",
 		ParCap:      spec.ParCap,
 		Build: func(threads, chips int, size Size) *prog.Program {
