@@ -5,18 +5,21 @@ check: diff race
 	go test ./...
 
 # Differential matrix only: scan × wakeup issue crossed with stepped ×
-# fast-forward cycle loops, plus reference × fast memory paths, plus
-# observability on × off, must agree bit-for-bit on the full Result
-# (reflect.DeepEqual) across every preset. Fast feedback when touching
-# the issue stage, the quiescence skip, the memory hierarchy, or the
-# metrics/tracing hooks.
+# fast-forward cycle loops, plus sequential × parallel execution, plus
+# reference × fast memory paths, plus observability on × off, must
+# agree bit-for-bit on the full Result (reflect.DeepEqual) across every
+# preset. Fast feedback when touching the issue stage, the quiescence
+# skip, the parallel loop, the memory hierarchy, or the metrics/tracing
+# hooks.
 diff:
-	go test ./internal/core -run 'TestEventDriven|TestWakeup|TestStoreForwardingMap|TestMemPath|TestObs'
+	go test ./internal/core -run 'TestEventDriven|TestWakeup|TestStoreForwardingMap|TestMemPath|TestObs|TestParallel|TestMetricsRingDrops'
 
-# Race-check the concurrent layers: harness (suite cache +
-# singleflight + cancellation) and service (queue, two-tier cache,
+# Race-check the concurrent layers: the core parallel execution mode
+# (differential + mid-fast-forward cancellation), harness (suite cache
+# + singleflight + cancellation) and service (queue, two-tier cache,
 # backpressure, e2e HTTP).
 race:
+	go test -race ./internal/core -run 'TestParallel|TestInterrupt|TestObsFrameConservationParallel|TestMetricsRingDropsParallel'
 	go test -race ./internal/harness/... ./internal/service/...
 
 # Regenerate BENCH_core.json (fast-forward, wakeup and memory-path

@@ -16,7 +16,7 @@
 //
 // Usage:
 //
-//	clusterd [-addr :8421] [-size ref] [-workers N] [-queue N]
+//	clusterd [-addr :8421] [-size ref] [-workers N] [-parallel] [-queue N]
 //	         [-cache-dir DIR] [-cache-entries N] [-max-cycles N]
 //	         [-metrics-interval N] [-port-file PATH]
 //	         [-drain-timeout 30s]
@@ -47,6 +47,7 @@ func main() {
 	addr := flag.String("addr", ":8421", "listen address (host:port; port 0 picks a free port)")
 	sizeName := flag.String("size", "ref", "default input size for jobs and figures: test or ref")
 	workers := flag.Int("workers", 0, "concurrent simulation workers (0 = GOMAXPROCS)")
+	parallel := flag.Bool("parallel", false, "run each simulation's chips on separate goroutines (bit-identical results)")
 	queueCap := flag.Int("queue", service.DefaultQueueCap, "job queue capacity (full queue returns 429)")
 	cacheDir := flag.String("cache-dir", "", "persist results under this directory (survives restarts)")
 	cacheEntries := flag.Int("cache-entries", 0, "in-memory result cache entries (0 = default)")
@@ -69,6 +70,7 @@ func main() {
 	svc, err := service.New(service.Options{
 		DefaultSize:     size,
 		Workers:         *workers,
+		Parallel:        *parallel,
 		QueueCap:        *queueCap,
 		CacheEntries:    *cacheEntries,
 		CacheDir:        *cacheDir,

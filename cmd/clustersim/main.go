@@ -6,7 +6,7 @@
 // Usage:
 //
 //	clustersim [-arch SMT2] [-app ocean] [-highend] [-size ref] [-v]
-//	           [-json] [-metrics out.csv] [-metrics-interval 10000]
+//	           [-parallel] [-json] [-metrics out.csv] [-metrics-interval 10000]
 //	           [-trace t.json] [-trace-format chrome]
 //	           [-cpuprofile cpu.out] [-memprofile mem.out]
 package main
@@ -33,6 +33,7 @@ func main() {
 	archName := flag.String("arch", "SMT2", "architecture: FA8, FA4, FA2, FA1, SMT8, SMT4, SMT2, SMT1")
 	appName := flag.String("app", "ocean", "application: swim, tomcatv, mgrid, vpenta, fmm, ocean (paper) or radix, lu (extras)")
 	highEnd := flag.Bool("highend", false, "simulate the 4-chip high-end machine instead of the 1-chip low-end")
+	parallel := flag.Bool("parallel", false, "run the simulation's chips on separate goroutines (bit-identical results; incompatible with -trace)")
 	sizeName := flag.String("size", "ref", "input size: test or ref")
 	verbose := flag.Bool("v", false, "print extended statistics")
 	jsonOut := flag.Bool("json", false, "print the full result as JSON instead of the text report (same encoding clusterd serves)")
@@ -99,6 +100,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	sim.Parallel = *parallel
 	if *tracePath != "" {
 		f, err := os.Create(*tracePath)
 		if err != nil {

@@ -291,6 +291,23 @@ type System struct {
 	Net   *interconnect.Network
 	Stats Stats
 
+	// shards, when non-nil, receives each chip's Stats contributions
+	// instead of Stats itself, so chips can issue loads concurrently
+	// (parallel execution, internal/core). Every field of Stats is an
+	// integer sum, so folding the shards back into Stats — FoldShards,
+	// called by the coordinator between phases — reproduces the
+	// sequential counters exactly regardless of increment order. The
+	// directory and network counters are NOT sharded: those paths are
+	// only legal from the single-goroutine phases (see noDir).
+	shards []Stats
+
+	// noDir, when set, asserts that no access may reach the directory
+	// or the interconnect: the parallel phase classifier has promised
+	// every load in flight hits local L1/L2 state. fetch and upgrade
+	// panic if the promise is broken (defense in depth for the
+	// parallel mode's soundness argument; see DESIGN.md §8).
+	noDir bool
+
 	// refPaths selects the pre-optimization load path (separate L1
 	// probe and lookup walks); set via SetReferencePaths.
 	refPaths bool
@@ -325,12 +342,67 @@ func (s *System) SetReferencePaths(on bool) {
 	}
 }
 
+// EnableStatShards switches the access-counter paths to per-chip
+// shards so chips may call Load concurrently. Call FoldShards from a
+// single goroutine to merge the shards back into Stats; Snapshot and
+// readers of Stats see exact totals only after a fold.
+func (s *System) EnableStatShards() {
+	if s.shards == nil {
+		s.shards = make([]Stats, len(s.Chips))
+	}
+}
+
+// FoldShards merges the per-chip stat shards into Stats and zeroes
+// them. All fields are integer sums, so the result is bit-identical to
+// unsharded counting no matter how increments interleaved.
+func (s *System) FoldShards() {
+	for i := range s.shards {
+		sh := &s.shards[i]
+		s.Stats.Loads += sh.Loads
+		s.Stats.Stores += sh.Stores
+		s.Stats.LoadRetries += sh.LoadRetries
+		for c := range sh.ByClass {
+			s.Stats.ByClass[c] += sh.ByClass[c]
+			s.Stats.LatencyByClass[c] += sh.LatencyByClass[c]
+		}
+		s.Stats.StoreHits += sh.StoreHits
+		s.Stats.StoreUpgrade += sh.StoreUpgrade
+		s.Stats.StoreMisses += sh.StoreMisses
+		s.Stats.TLBMisses += sh.TLBMisses
+		*sh = Stats{}
+	}
+}
+
+// stats returns the counter sink for accesses by chip: the chip's
+// shard when sharding is on, else the machine-wide Stats.
+func (s *System) stats(chip int) *Stats {
+	if s.shards != nil {
+		return &s.shards[chip]
+	}
+	return &s.Stats
+}
+
+// SetNoDir arms (or disarms) the no-directory assertion for the
+// current parallel phase.
+func (s *System) SetNoDir(on bool) { s.noDir = on }
+
+// LoadMayFetch conservatively reports whether a load by chip to addr
+// could miss past the chip's L2 this cycle and therefore reach the
+// directory/interconnect. Probe is non-mutating. The check is sound
+// for a whole phase, not just this instant, because inclusion (L1⊆L2)
+// holds and no concurrent-phase operation ever removes a line from an
+// L2: loads that pass this check stay chip-local (see DESIGN.md §8).
+func (s *System) LoadMayFetch(chip int, addr int64) bool {
+	c := s.Chips[chip]
+	return c.L2.Probe(c.Line(addr)) == memsys.Invalid
+}
+
 // translate applies the TLB; it returns the earliest cycle the access
 // can proceed (after any miss penalty).
 func (s *System) translate(now int64, c *memsys.Chip, addr int64) int64 {
 	if !c.TLB.Access(c.Page(addr)) {
 		c.TLBMissStalls++
-		s.Stats.TLBMisses++
+		s.stats(c.ID).TLBMisses++
 		return now + int64(s.Cfg.TLBMissPenalty)
 	}
 	return now
@@ -350,25 +422,26 @@ func (s *System) Load(now int64, chip int, addr int64) (ready int64, cls AccessC
 	}
 	c := s.Chips[chip]
 	line := c.Line(addr)
+	st := s.stats(chip)
 
 	// Refuse early (before disturbing banks/stats) if this would need a
 	// new MSHR and none is free.
 	wi := c.L1.FindWay(line)
 	if wi < 0 {
 		if _, merging := c.MSHR.Pending(now, line); !merging && c.MSHR.Free(now) == 0 {
-			s.Stats.LoadRetries++
+			st.LoadRetries++
 			return 0, 0, false
 		}
 	}
 
-	s.Stats.Loads++
+	st.Loads++
 	t := s.translate(now, c, addr)
 
 	// Merge with an in-flight fill for the same line.
 	if fill, merging := c.MSHR.Pending(t, line); merging {
 		ready = max(fill, t+int64(s.Cfg.L1Latency))
-		s.Stats.ByClass[MSHRMerge]++
-		s.Stats.LatencyByClass[MSHRMerge] += uint64(ready - now)
+		st.ByClass[MSHRMerge]++
+		st.LatencyByClass[MSHRMerge] += uint64(ready - now)
 		return ready, MSHRMerge, true
 	}
 
@@ -376,21 +449,21 @@ func (s *System) Load(now int64, chip int, addr int64) (ready int64, cls AccessC
 	if wi >= 0 {
 		c.L1.TouchHit(wi)
 		ready = start + int64(s.Cfg.L1Latency)
-		s.Stats.ByClass[L1Hit]++
-		s.Stats.LatencyByClass[L1Hit] += uint64(ready - now)
+		st.ByClass[L1Hit]++
+		st.LatencyByClass[L1Hit] += uint64(ready - now)
 		return ready, L1Hit, true
 	}
 	c.L1.TouchMiss()
 
 	// L1 miss: L2 access.
 	s2 := c.L2Banks.Acquire(start+int64(s.Cfg.L1Latency), line)
-	if st := c.L2.Lookup(line); st != memsys.Invalid {
+	if lst := c.L2.Lookup(line); lst != memsys.Invalid {
 		ready = s2 + int64(s.Cfg.L2Latency)
-		c.L1.Insert(line, st)
+		c.L1.Insert(line, lst)
 		c.L1Banks.Extend(line, s.Cfg.FillTime)
 		mustAlloc(c.MSHR, s2, line, ready)
-		s.Stats.ByClass[L2Hit]++
-		s.Stats.LatencyByClass[L2Hit] += uint64(ready - now)
+		st.ByClass[L2Hit]++
+		st.LatencyByClass[L2Hit] += uint64(ready - now)
 		return ready, L2Hit, true
 	}
 
@@ -398,8 +471,8 @@ func (s *System) Load(now int64, chip int, addr int64) (ready int64, cls AccessC
 	ready, cls = s.fetch(chip, line, s2, false)
 	s.install(chip, line, memsys.Shared)
 	mustAlloc(c.MSHR, s2, line, ready)
-	s.Stats.ByClass[cls]++
-	s.Stats.LatencyByClass[cls] += uint64(ready - now)
+	st.ByClass[cls]++
+	st.LatencyByClass[cls] += uint64(ready - now)
 	return ready, cls, true
 }
 
@@ -409,29 +482,30 @@ func (s *System) Load(now int64, chip int, addr int64) (ready int64, cls AccessC
 func (s *System) loadRef(now int64, chip int, addr int64) (ready int64, cls AccessClass, ok bool) {
 	c := s.Chips[chip]
 	line := c.Line(addr)
+	stc := s.stats(chip)
 
 	if c.L1.Probe(line) == memsys.Invalid {
 		if _, merging := c.MSHR.Pending(now, line); !merging && c.MSHR.Free(now) == 0 {
-			s.Stats.LoadRetries++
+			stc.LoadRetries++
 			return 0, 0, false
 		}
 	}
 
-	s.Stats.Loads++
+	stc.Loads++
 	t := s.translate(now, c, addr)
 
 	if fill, merging := c.MSHR.Pending(t, line); merging {
 		ready = max(fill, t+int64(s.Cfg.L1Latency))
-		s.Stats.ByClass[MSHRMerge]++
-		s.Stats.LatencyByClass[MSHRMerge] += uint64(ready - now)
+		stc.ByClass[MSHRMerge]++
+		stc.LatencyByClass[MSHRMerge] += uint64(ready - now)
 		return ready, MSHRMerge, true
 	}
 
 	start := c.L1Banks.Acquire(t, line)
 	if st := c.L1.Lookup(line); st != memsys.Invalid {
 		ready = start + int64(s.Cfg.L1Latency)
-		s.Stats.ByClass[L1Hit]++
-		s.Stats.LatencyByClass[L1Hit] += uint64(ready - now)
+		stc.ByClass[L1Hit]++
+		stc.LatencyByClass[L1Hit] += uint64(ready - now)
 		return ready, L1Hit, true
 	}
 
@@ -441,16 +515,16 @@ func (s *System) loadRef(now int64, chip int, addr int64) (ready int64, cls Acce
 		c.L1.Insert(line, st)
 		c.L1Banks.Extend(line, s.Cfg.FillTime)
 		mustAlloc(c.MSHR, s2, line, ready)
-		s.Stats.ByClass[L2Hit]++
-		s.Stats.LatencyByClass[L2Hit] += uint64(ready - now)
+		stc.ByClass[L2Hit]++
+		stc.LatencyByClass[L2Hit] += uint64(ready - now)
 		return ready, L2Hit, true
 	}
 
 	ready, cls = s.fetch(chip, line, s2, false)
 	s.install(chip, line, memsys.Shared)
 	mustAlloc(c.MSHR, s2, line, ready)
-	s.Stats.ByClass[cls]++
-	s.Stats.LatencyByClass[cls] += uint64(ready - now)
+	stc.ByClass[cls]++
+	stc.LatencyByClass[cls] += uint64(ready - now)
 	return ready, cls, true
 }
 
@@ -461,18 +535,19 @@ func (s *System) loadRef(now int64, chip int, addr int64) (ready int64, cls Acce
 func (s *System) Store(now int64, chip int, addr int64) {
 	c := s.Chips[chip]
 	line := c.Line(addr)
-	s.Stats.Stores++
+	st := s.stats(chip)
+	st.Stores++
 	t := s.translate(now, c, addr)
 	start := c.L1Banks.Acquire(t, line)
 
 	switch c.L1.Lookup(line) {
 	case memsys.Modified:
-		s.Stats.StoreHits++
+		st.StoreHits++
 		return
 	case memsys.Shared:
 		s.upgrade(chip, line, start)
 		c.MarkModified(line)
-		s.Stats.StoreUpgrade++
+		st.StoreUpgrade++
 		return
 	}
 
@@ -481,19 +556,19 @@ func (s *System) Store(now int64, chip int, addr int64) {
 	switch c.L2.Lookup(line) {
 	case memsys.Modified:
 		c.MarkModified(line) // refills L1
-		s.Stats.StoreHits++
+		st.StoreHits++
 		return
 	case memsys.Shared:
 		s.upgrade(chip, line, s2)
 		c.MarkModified(line)
-		s.Stats.StoreUpgrade++
+		st.StoreUpgrade++
 		return
 	}
 
 	// Full miss: fetch exclusive.
 	s.fetch(chip, line, s2, true)
 	s.install(chip, line, memsys.Modified)
-	s.Stats.StoreMisses++
+	st.StoreMisses++
 }
 
 // install places a filled line on chip, handling inclusion victims and
@@ -511,6 +586,9 @@ func (s *System) install(chip int, line int64, st memsys.LineState) {
 // upgrade invalidates every other sharer of a line the chip already
 // holds Shared, making the chip the owner.
 func (s *System) upgrade(chip int, line int64, now int64) {
+	if s.noDir {
+		panic(fmt.Sprintf("coherence: chip %d upgrade of line %#x during a no-directory phase", chip, line))
+	}
 	h := s.Dir.Home(line)
 	e := s.Dir.entry(line)
 	t := s.Net.Transact(now, chip, h)
@@ -529,6 +607,9 @@ func (s *System) upgrade(chip int, line int64, now int64) {
 // fetch resolves an L2 miss through the directory, returning the data-
 // ready cycle and the Table 3 access class.
 func (s *System) fetch(chip int, line int64, now int64, exclusive bool) (int64, AccessClass) {
+	if s.noDir {
+		panic(fmt.Sprintf("coherence: chip %d fetch of line %#x during a no-directory phase", chip, line))
+	}
 	h := s.Dir.Home(line)
 	e := s.Dir.entry(line)
 	start := s.Net.Transact(now, chip, h)

@@ -97,7 +97,17 @@ func (t *threadCtx) fifoPop() {
 type cluster struct {
 	chip int
 	idx  int
-	cfg  config.Arch
+	// gid is the cluster's index in Simulator.clusters (chip-major
+	// global order) — the order the sequential loop visits clusters in,
+	// and hence the order the parallel mode's turn protocol enforces.
+	gid int
+	cfg config.Arch
+
+	// storeQ collects the addresses of stores committed this cycle when
+	// parallel execution defers the memory-system access; the
+	// coordinator drains the queues in global cluster order between the
+	// commit and issue phases (parallel.go).
+	storeQ []int64
 
 	threads []*threadCtx
 	window  []*entry // reorder buffer: dispatch -> commit
@@ -262,7 +272,14 @@ func (c *cluster) commit(s *Simulator, now int64) bool {
 			e := t.fifoFront()
 			t.fifoPop()
 			if e.isStore {
-				if s.tr != nil {
+				if s.par != nil {
+					// Parallel commit phase: chips commit concurrently, so
+					// the (machine-global) memory-system store is deferred
+					// to the coordinator, which drains the queues in exact
+					// sequential order. Store never feeds a value back into
+					// commit, so deferral is invisible to this stage.
+					c.storeQ = append(c.storeQ, e.d.Addr+e.thread.memBase)
+				} else if s.tr != nil {
 					pre := s.dirCounters()
 					s.msys.Store(now, c.chip, e.d.Addr+e.thread.memBase)
 					s.traceDirDelta(now, c, e, pre)
@@ -290,11 +307,10 @@ func (c *cluster) commit(s *Simulator, now int64) bool {
 				// The thread just drained after its halt: it leaves the
 				// running-thread count (it cannot be sync-blocked here —
 				// blocked threads never fetch, so they never halt).
-				s.running--
-				s.finished++
+				s.noteFinished(c.chip)
 			}
 			t.committed++
-			s.committed++
+			s.noteCommitted(c.chip)
 			s.traceEvent(now, c, "C", e)
 			budget--
 			removed = true
@@ -402,7 +418,7 @@ func (c *cluster) tryIssue(s *Simulator, e *entry, now int64, votes *stats.Votes
 			}
 			e.forwarded = true
 			completeAt = now + e.lat
-			s.forwardedLoads++
+			s.noteForwarded(c.chip)
 		} else {
 			var pre dirCounters
 			if s.tr != nil {
@@ -492,13 +508,13 @@ func (c *cluster) unblock(s *Simulator, now int64) bool {
 			}
 			if t.lockGranted {
 				t.block = blockNone
-				s.running++
+				s.addRunning(c.chip, 1)
 				resumed = true
 			}
 		case blockBarrier:
 			if t.sync.Released(t.fn.Peek().Imm, t.barTarget) {
 				t.block = blockNone
-				s.running++
+				s.addRunning(c.chip, 1)
 				resumed = true
 			}
 		}
@@ -555,14 +571,23 @@ func (c *cluster) fetchFrom(s *Simulator, t *threadCtx, now int64, budget int, v
 
 		// Synchronization is resolved at the front end; the paper's
 		// spin-wait slots surface as the thread voting "sync" while
-		// blocked here.
+		// blocked here. Under parallel execution, sync operations (and
+		// swap, the one functional read-modify-write) go through the
+		// turn protocol so the shared controller sees them in exactly
+		// the sequential cluster order.
+		if s.par != nil {
+			switch in.Op {
+			case isa.OpLock, isa.OpUnlock, isa.OpBarrier, isa.OpSwap:
+				s.ensureTurn(c)
+			}
+		}
 		switch in.Op {
 		case isa.OpLock:
 			if t.lockGranted {
 				t.lockGranted = false
 			} else if !t.sync.TryLock(in.Imm, t.id) {
 				t.block = blockLock
-				s.running--
+				s.addRunning(c.chip, -1)
 				return 0 // fetch redirect consumes the cycle
 			}
 		case isa.OpUnlock:
@@ -574,7 +599,7 @@ func (c *cluster) fetchFrom(s *Simulator, t *threadCtx, now int64, budget int, v
 			}
 			if !t.sync.Released(in.Imm, t.barTarget) {
 				t.block = blockBarrier
-				s.running--
+				s.addRunning(c.chip, -1)
 				return 0 // fetch redirect consumes the cycle
 			}
 			t.barArrived = false

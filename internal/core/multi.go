@@ -78,6 +78,7 @@ func NewMulti(m config.Machine, progs []*prog.Program) (*Simulator, error) {
 	s.running = len(s.threads)
 	s.EventDriven = true
 	s.EventIssue = true
+	s.numberClusters()
 	return s, nil
 }
 

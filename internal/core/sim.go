@@ -19,14 +19,18 @@ const DefaultMaxCycles = 2_000_000_000
 // channel fires before the simulation completes.
 var ErrInterrupted = errors.New("run interrupted")
 
-// interruptPeriod is how many Run-loop iterations pass between polls of
-// the Interrupt channel. Each iteration advances at least one cycle (or
-// one fast-forward jump), so cancellation latency is bounded by a few
-// thousand simulated cycles while the poll stays off the hot path.
+// interruptPeriod is how many simulated cycles pass between polls of
+// the Interrupt channel. Polling is keyed to the cycle count, not loop
+// iterations, so a fast-forward jump spanning many periods triggers a
+// poll immediately after landing: cancellation latency is bounded by
+// max(interruptPeriod, one jump) regardless of how far each iteration
+// advances, while the poll stays off the hot path.
 const interruptPeriod = 1024
 
 // Simulator executes one program on one machine, cycle by cycle. It is
-// strictly deterministic and single-goroutine.
+// strictly deterministic; with Parallel set, chips step concurrently in
+// a lockstep that reproduces the sequential results bit-identically
+// (parallel.go).
 type Simulator struct {
 	Machine config.Machine
 	Program *prog.Program
@@ -68,6 +72,23 @@ type Simulator struct {
 	// scan. Must be set before Run.
 	EventIssue bool
 
+	// Parallel runs one goroutine per chip in per-cycle lockstep
+	// (parallel.go). Results are bit-identical to the sequential loop
+	// (guarded by TestParallelDifferential); the sequential loop remains
+	// the reference implementation and the escape hatch, following the
+	// same idiom as EventIssue/SetReferenceMemPaths. Requires EventIssue
+	// and no instruction tracing. Must be set before Run.
+	Parallel bool
+
+	// par is the live parallel runner, non-nil only inside a Parallel
+	// Run; cluster stages consult it to route counters to per-chip
+	// shards and sync operations through the turn protocol.
+	par *parRunner
+	// parBCycles counts cycles whose issue/fetch phase ran concurrently
+	// on the chip workers (vs the sequential directory fallback) —
+	// diagnostics and test vacuousness checks.
+	parBCycles int64
+
 	// Fast-forward bookkeeping: per-cluster vote scratch, lock spinners
 	// found by the quiescence scan (their per-poll conflict counts are
 	// bulk-replayed), clusters whose fetch is pinned on a full window
@@ -83,7 +104,7 @@ type Simulator struct {
 	MaxCycles int64
 
 	// Interrupt, when non-nil, is polled periodically during Run (every
-	// interruptPeriod loop iterations); once it is closed or receives,
+	// interruptPeriod simulated cycles); once it is closed or receives,
 	// Run returns ErrInterrupted promptly. It is how callers plumb
 	// context cancellation into a run without putting a context on the
 	// per-cycle hot path. Must be set before Run.
@@ -158,7 +179,17 @@ func New(m config.Machine, p *prog.Program) (*Simulator, error) {
 	s.running = len(s.threads)
 	s.EventDriven = true
 	s.EventIssue = true
+	s.numberClusters()
 	return s, nil
+}
+
+// numberClusters assigns each cluster its global (chip-major) index —
+// the sequential iteration order, which the parallel mode's turn
+// protocol and store drain reproduce.
+func (s *Simulator) numberClusters() {
+	for i, cl := range s.clusters {
+		cl.gid = i
+	}
 }
 
 // SetReferenceMemPaths selects (on=true) the pre-optimization
@@ -228,6 +259,12 @@ func (s *Simulator) Run() (*Result, error) {
 	if s.cycle != 0 {
 		return nil, fmt.Errorf("core: simulator already run")
 	}
+	if s.Parallel {
+		if err := s.startParallel(); err != nil {
+			return nil, err
+		}
+		defer s.stopParallel()
+	}
 	if s.tr != nil {
 		// The trace writer is buffered; flush whatever was traced even
 		// when the run aborts (MaxCycles), so partial traces are usable.
@@ -241,20 +278,22 @@ func (s *Simulator) Run() (*Result, error) {
 	idle := false
 	failStreak := 0
 	probeAt := int64(0)
-	interruptCountdown := interruptPeriod
+	// Interrupt polling is keyed to the cycle count so that a
+	// fast-forward jump crossing the next poll boundary is followed by
+	// a poll on the very next iteration — one jump, not interruptPeriod
+	// jumps, bounds the cancellation latency.
+	nextInterruptPoll := int64(interruptPeriod)
 	for !s.done() {
 		if s.cycle >= s.MaxCycles {
 			return nil, fmt.Errorf("core: %s: exceeded %d cycles (committed %d instrs); livelock?",
 				s.Machine.Name, s.MaxCycles, s.committed)
 		}
-		if s.Interrupt != nil {
-			if interruptCountdown--; interruptCountdown <= 0 {
-				interruptCountdown = interruptPeriod
-				select {
-				case <-s.Interrupt:
-					return nil, fmt.Errorf("core: %s: %w at cycle %d", s.Machine.Name, ErrInterrupted, s.cycle)
-				default:
-				}
+		if s.Interrupt != nil && s.cycle >= nextInterruptPoll {
+			nextInterruptPoll = s.cycle + interruptPeriod
+			select {
+			case <-s.Interrupt:
+				return nil, fmt.Errorf("core: %s: %w at cycle %d", s.Machine.Name, ErrInterrupted, s.cycle)
+			default:
 			}
 		}
 		if idle && s.EventDriven && s.cycle >= probeAt {
@@ -268,7 +307,13 @@ func (s *Simulator) Run() (*Result, error) {
 			}
 			probeAt = s.cycle + 1<<failStreak
 		}
-		if s.step() {
+		var progressed bool
+		if s.par != nil {
+			progressed = s.stepParallel()
+		} else {
+			progressed = s.step()
+		}
+		if progressed {
 			failStreak = 0
 			probeAt = 0
 			idle = false

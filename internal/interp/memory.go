@@ -7,6 +7,7 @@ package interp
 
 import (
 	"fmt"
+	"sync"
 
 	"clustersmt/internal/prog"
 )
@@ -17,10 +18,18 @@ const (
 	pageWords = pageBytes / prog.WordSize
 )
 
-// Memory is a sparse, paged, word-granular shared address space. It is
-// not safe for concurrent use; the simulator is single-goroutine by
-// design (see DESIGN.md).
+// Memory is a sparse, paged, word-granular shared address space.
+//
+// The page table itself is goroutine-safe (guarded by mu; pages are
+// never removed, so cached page pointers stay valid forever), but the
+// Memory's own Load/Store/Swap share one last-touched-page cache and
+// must stay on a single goroutine. Concurrent executors give each
+// thread its own View, whose private cache makes word accesses
+// lock-free after the first touch of a page; word-level data races are
+// then the program's responsibility (the timing simulator's parallel
+// mode orders racing accesses, see internal/core).
 type Memory struct {
+	mu    sync.RWMutex
 	pages map[int64]*[pageWords]uint64
 
 	// Last-touched page, so sequential and strided access streams skip
@@ -41,16 +50,30 @@ func (m *Memory) LoadImage(p *prog.Program) {
 	}
 }
 
+// lookup returns the page frame for page number pn, allocating it when
+// create is set. Pages are only ever added, so a returned pointer may
+// be cached indefinitely.
+func (m *Memory) lookup(pn int64, create bool) *[pageWords]uint64 {
+	m.mu.RLock()
+	pg := m.pages[pn]
+	m.mu.RUnlock()
+	if pg == nil && create {
+		m.mu.Lock()
+		if pg = m.pages[pn]; pg == nil {
+			pg = new([pageWords]uint64)
+			m.pages[pn] = pg
+		}
+		m.mu.Unlock()
+	}
+	return pg
+}
+
 func (m *Memory) page(addr int64, create bool) *[pageWords]uint64 {
 	pn := addr >> pageShift
 	if pn == m.lastPN {
 		return m.lastPG
 	}
-	pg := m.pages[pn]
-	if pg == nil && create {
-		pg = new([pageWords]uint64)
-		m.pages[pn] = pg
-	}
+	pg := m.lookup(pn, create)
 	if pg != nil {
 		m.lastPN, m.lastPG = pn, pg
 	}
@@ -93,4 +116,60 @@ func (m *Memory) Swap(addr int64, v uint64) uint64 {
 }
 
 // Pages reports how many pages have been touched (diagnostics).
-func (m *Memory) Pages() int { return len(m.pages) }
+func (m *Memory) Pages() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return len(m.pages)
+}
+
+// View is a per-goroutine handle on a shared Memory: it carries its own
+// last-touched-page cache, so concurrent threads never contend except
+// on the first touch of a freshly allocated page. Obtain one with
+// NewView; the zero value is not usable.
+type View struct {
+	mem    *Memory
+	lastPN int64
+	lastPG *[pageWords]uint64
+}
+
+// NewView returns a fresh view of the address space.
+func (m *Memory) NewView() View { return View{mem: m, lastPN: -1} }
+
+func (v *View) page(addr int64, create bool) *[pageWords]uint64 {
+	pn := addr >> pageShift
+	if pn == v.lastPN {
+		return v.lastPG
+	}
+	pg := v.mem.lookup(pn, create)
+	if pg != nil {
+		v.lastPN, v.lastPG = pn, pg
+	}
+	return pg
+}
+
+// Load returns the word at addr (zero if never written).
+func (v *View) Load(addr int64) uint64 {
+	checkAligned(addr)
+	pg := v.page(addr, false)
+	if pg == nil {
+		return 0
+	}
+	return pg[(addr%pageBytes)/prog.WordSize]
+}
+
+// Store writes the word at addr.
+func (v *View) Store(addr int64, val uint64) {
+	checkAligned(addr)
+	v.page(addr, true)[(addr%pageBytes)/prog.WordSize] = val
+}
+
+// Swap exchanges the word at addr with val, returning the old value.
+// Atomicity with respect to other views is the caller's job: the
+// timing simulator orders all granted sync operations (see
+// internal/core), so by the time Swap executes it has exclusive use of
+// the word.
+func (v *View) Swap(addr int64, val uint64) uint64 {
+	old := v.Load(addr)
+	v.Store(addr, val)
+	return old
+}

@@ -36,13 +36,18 @@ type Thread struct {
 	FP      [isa.NumFPRegs]float64
 	Halted  bool
 	Retired uint64 // dynamic instructions executed
+
+	// view is the thread's private handle on Mem, so threads on
+	// different goroutines (parallel timing mode) never share the
+	// Memory's own page cache.
+	view View
 }
 
 // NewThread returns a thread positioned at the program entry with the
 // conventional registers (TID, SP) initialized. Each thread gets a
 // private stack region above the data segment; stacks are 64 KiB.
 func NewThread(id int, p *prog.Program, mem *Memory) *Thread {
-	t := &Thread{ID: id, Prog: p, Mem: mem, PC: p.Entry}
+	t := &Thread{ID: id, Prog: p, Mem: mem, PC: p.Entry, view: mem.NewView()}
 	t.Int[isa.RegTID] = uint64(id)
 	const stackSize = 64 * 1024
 	base := ((p.DataEnd + pageBytes - 1) / pageBytes) * pageBytes
@@ -147,19 +152,19 @@ func (t *Thread) Step() DynInstr {
 
 	case isa.OpLd:
 		d.Addr = t.readInt(in.RS1) + in.Imm
-		t.writeInt(in.RD, int64(t.Mem.Load(d.Addr)))
+		t.writeInt(in.RD, int64(t.view.Load(d.Addr)))
 	case isa.OpSt:
 		d.Addr = t.readInt(in.RS1) + in.Imm
-		t.Mem.Store(d.Addr, t.Int[in.RS2])
+		t.view.Store(d.Addr, t.Int[in.RS2])
 	case isa.OpLdf:
 		d.Addr = t.readInt(in.RS1) + in.Imm
-		t.FP[in.FD] = math.Float64frombits(t.Mem.Load(d.Addr))
+		t.FP[in.FD] = math.Float64frombits(t.view.Load(d.Addr))
 	case isa.OpStf:
 		d.Addr = t.readInt(in.RS1) + in.Imm
-		t.Mem.Store(d.Addr, math.Float64bits(t.FP[in.FS2]))
+		t.view.Store(d.Addr, math.Float64bits(t.FP[in.FS2]))
 	case isa.OpSwap:
 		d.Addr = t.readInt(in.RS1) + in.Imm
-		t.writeInt(in.RD, int64(t.Mem.Swap(d.Addr, t.Int[in.RS2])))
+		t.writeInt(in.RD, int64(t.view.Swap(d.Addr, t.Int[in.RS2])))
 
 	case isa.OpFadd:
 		t.FP[in.FD] = t.FP[in.FS1] + t.FP[in.FS2]

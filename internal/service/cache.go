@@ -92,10 +92,81 @@ func NewCache(capEntries int, dir string) (*Cache, error) {
 				}
 			}
 			// A corrupt index is discarded silently: it is advisory, and
-			// rebuilding it from Puts is always safe.
+			// reconcile rebuilds it from the envelope files.
+		}
+		if err := c.reconcile(); err != nil {
+			return nil, fmt.Errorf("service: cache reconcile: %w", err)
 		}
 	}
 	return c, nil
+}
+
+// reconcile aligns the loaded index with the envelope files actually
+// present in the cache directory. The index is rewritten only on
+// graceful Close, so a crash leaves it stale in both directions: Puts
+// since the last Close are on disk but unindexed (orphans), and files
+// removed out-of-band still have index lines (dangling). Lookups never
+// trust the index, so neither form can serve a wrong result — but the
+// Index() listing and the persisted summary would lie until the next
+// graceful shutdown. Startup is the one place the directory is scanned,
+// so the cost is one ReadDir plus one decode per orphan.
+func (c *Cache) reconcile() error {
+	entries, err := os.ReadDir(c.dir)
+	if err != nil {
+		return err
+	}
+	present := make(map[string]bool)
+	for _, de := range entries {
+		name := de.Name()
+		if de.IsDir() || !strings.HasSuffix(name, ".json") {
+			continue
+		}
+		hex := strings.TrimSuffix(name, ".json")
+		if !isHexHash(hex) {
+			continue // index.json, stray temp files, anything foreign
+		}
+		present[hex] = true
+		if _, indexed := c.index[hex]; indexed {
+			continue
+		}
+		// Orphan envelope (crash after a Put, before the index rewrite):
+		// adopt it. A torn or corrupt file is skipped — Get treats it as
+		// a miss and the next Put rewrites it atomically.
+		raw, err := os.ReadFile(filepath.Join(c.dir, name))
+		if err != nil {
+			continue
+		}
+		var env envelope
+		if err := json.Unmarshal(raw, &env); err != nil || env.Result == nil || env.Hash != hex {
+			continue
+		}
+		c.index[hex] = IndexEntry{
+			Hash:    hex,
+			App:     env.Result.ProgramName,
+			Machine: env.Result.Machine.Name,
+			Cycles:  env.Result.Cycles,
+		}
+	}
+	for hex := range c.index {
+		if !present[hex] {
+			delete(c.index, hex)
+		}
+	}
+	return nil
+}
+
+// isHexHash reports whether s is a 64-char lowercase hex string — the
+// filename stem Put gives every envelope.
+func isHexHash(s string) bool {
+	if len(s) != 64 {
+		return false
+	}
+	for _, r := range s {
+		if (r < '0' || r > '9') && (r < 'a' || r > 'f') {
+			return false
+		}
+	}
+	return true
 }
 
 // Get returns the cached result for key and the tier that served it.

@@ -1,0 +1,103 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"clustersmt/internal/workloads"
+)
+
+// TestRetryAfterContract pins the Retry-After estimate: whole seconds,
+// never below 1, never above 60, rounding pending-work-per-worker up,
+// and never panicking — not on an idle pool, a drained-queue-but-busy-
+// workers pool, a deep queue, a drained pool, or a (defensively
+// impossible) zero-worker pool.
+func TestRetryAfterContract(t *testing.T) {
+	rj, err := JobSpec{App: "swim", Arch: "FA8"}.Resolve(workloads.SizeTest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	job := func(i int) *Job { return NewJob(fmt.Sprintf("r%d", i), rj) }
+	waitState := func(p *Pool, depth, running int) {
+		t.Helper()
+		deadline := time.Now().Add(10 * time.Second)
+		for p.Depth() != depth || p.Running() != running {
+			if time.Now().After(deadline) {
+				t.Fatalf("pool never reached depth=%d running=%d (at %d/%d)",
+					depth, running, p.Depth(), p.Running())
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+
+	// Empty pool: nothing pending, floor of 1.
+	idle := &Server{pool: NewPool(4, 8, func(ctx context.Context, j *Job) { j.Complete(nil, "") })}
+	defer idle.pool.Drain(context.Background())
+	if got := idle.retryAfter(); got != 1 {
+		t.Errorf("idle pool: retryAfter=%d, want 1", got)
+	}
+
+	// Queue drained but workers busy: one blocked job per worker leaves
+	// Depth()==0; the estimate must stay 1 wave, not divide to zero.
+	release := make(chan struct{})
+	busy := &Server{pool: NewPool(2, 8, func(ctx context.Context, j *Job) {
+		<-release
+		j.Complete(nil, "")
+	})}
+	defer busy.pool.Drain(context.Background())
+	for i := 0; i < 2; i++ {
+		if err := busy.pool.Submit(job(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitState(busy.pool, 0, 2)
+	if got := busy.retryAfter(); got != 1 {
+		t.Errorf("busy workers, drained queue: retryAfter=%d, want 1", got)
+	}
+
+	// A partial extra wave rounds up: 2 running + 3 queued on 2 workers
+	// is ceil(5/2) = 3 waves, not 5/2 floored to 2.
+	for i := 2; i < 5; i++ {
+		if err := busy.pool.Submit(job(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitState(busy.pool, 3, 2)
+	if got := busy.retryAfter(); got != 3 {
+		t.Errorf("5 pending on 2 workers: retryAfter=%d, want 3", got)
+	}
+	close(release)
+
+	// Deep queue: capped at 60 seconds.
+	hold := make(chan struct{})
+	deep := &Server{pool: NewPool(1, 128, func(ctx context.Context, j *Job) {
+		<-hold
+		j.Complete(nil, "")
+	})}
+	for i := 0; i < 100; i++ {
+		if err := deep.pool.Submit(job(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitState(deep.pool, 99, 1)
+	if got := deep.retryAfter(); got != 60 {
+		t.Errorf("100 pending on 1 worker: retryAfter=%d, want 60 (cap)", got)
+	}
+	close(hold)
+	deep.pool.Drain(context.Background())
+
+	// After a drain the pool is empty again: still the floor, no panic.
+	if got := deep.retryAfter(); got != 1 {
+		t.Errorf("drained pool: retryAfter=%d, want 1", got)
+	}
+
+	// Zero workers cannot be built through NewPool (it clamps to 1),
+	// but the 429 path must tolerate a bare pool without dividing by
+	// zero.
+	zero := &Server{pool: &Pool{}}
+	if got := zero.retryAfter(); got != 1 {
+		t.Errorf("zero-worker pool: retryAfter=%d, want 1", got)
+	}
+}

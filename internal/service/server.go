@@ -25,6 +25,10 @@ type Options struct {
 	DefaultSize workloads.Size
 	// Workers bounds concurrent simulations (0 = GOMAXPROCS).
 	Workers int
+	// Parallel runs each simulation's chips on separate goroutines
+	// (core.Simulator.Parallel); results stay bit-identical, so cache
+	// keys and cached payloads are unaffected.
+	Parallel bool
 	// QueueCap bounds the admission FIFO (0 = DefaultQueueCap). A full
 	// queue rejects submissions with 429 + Retry-After.
 	QueueCap int
@@ -94,6 +98,7 @@ func (s *Server) suite(size workloads.Size) *harness.Suite {
 	if !ok {
 		st = harness.NewSuite(size)
 		st.MaxCycles = s.opts.MaxCycles
+		st.Parallel = s.opts.Parallel
 		st.MetricsInterval = s.opts.MetricsInterval
 		st.MetricsRingCap = s.opts.MetricsRingCap
 		// The pool already bounds admission; let the suite run whatever
@@ -229,12 +234,19 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusAccepted, j.view())
 }
 
-// retryAfter estimates (in whole seconds, floor 1) when a queue slot
-// may free up: pending work divided by worker parallelism, assuming
-// roughly a second per simulation — deliberately coarse, the point is
-// to pace retries, not to promise.
+// retryAfter estimates (in whole seconds, floor 1, cap 60) when a
+// queue slot may free up: pending work divided by worker parallelism,
+// assuming roughly a second per simulation — deliberately coarse, the
+// point is to pace retries, not to promise. The division rounds up (a
+// partly filled worker wave is still a full wave of waiting) and
+// guards a zero worker count: NewPool clamps workers to one, but a
+// 429 path must never be able to panic on arithmetic.
 func (s *Server) retryAfter() int {
-	n := (s.pool.Depth() + s.pool.Running()) / s.pool.Workers()
+	w := s.pool.Workers()
+	if w < 1 {
+		w = 1
+	}
+	n := (s.pool.Depth() + s.pool.Running() + w - 1) / w
 	if n < 1 {
 		n = 1
 	}
