@@ -6,24 +6,28 @@ check: diff race
 
 # Differential matrix only: scan × wakeup issue crossed with stepped ×
 # fast-forward cycle loops, plus sequential × parallel execution, plus
-# reference × fast memory paths, plus observability on × off, must
-# agree bit-for-bit on the full Result (reflect.DeepEqual) across every
-# preset. Fast feedback when touching the issue stage, the quiescence
-# skip, the parallel loop, the memory hierarchy, or the metrics/tracing
-# hooks.
+# reference × fast memory paths, plus observability on × off, plus
+# run-from-checkpoint × run-from-scratch (and the golden on-disk
+# snapshot fixture), must agree bit-for-bit on the full Result
+# (reflect.DeepEqual) across every preset. Fast feedback when touching
+# the issue stage, the quiescence skip, the parallel loop, the memory
+# hierarchy, the metrics/tracing hooks, or the snapshot codec.
 diff:
-	go test ./internal/core -run 'TestEventDriven|TestWakeup|TestStoreForwardingMap|TestMemPath|TestObs|TestParallel|TestMetricsRingDrops'
+	go test ./internal/core -run 'TestEventDriven|TestWakeup|TestStoreForwardingMap|TestMemPath|TestObs|TestParallel|TestMetricsRingDrops|TestCheckpointDifferential|TestSnapshotGolden'
 
 # Race-check the concurrent layers: the core parallel execution mode
-# (differential + mid-fast-forward cancellation), harness (suite cache
-# + singleflight + cancellation) and service (queue, two-tier cache,
-# backpressure, e2e HTTP).
+# (differential + mid-fast-forward cancellation), COW snapshot forking
+# (children racing each other and the continuing parent), harness
+# (suite cache + singleflight + warm-up sharing + cancellation) and
+# service (queue, two-tier cache, backpressure, snapshot persistence,
+# e2e HTTP).
 race:
-	go test -race ./internal/core -run 'TestParallel|TestInterrupt|TestObsFrameConservationParallel|TestMetricsRingDropsParallel'
+	go test -race ./internal/core -run 'TestParallel|TestInterrupt|TestObsFrameConservationParallel|TestMetricsRingDropsParallel|TestSnapshotRoundTripRace'
 	go test -race ./internal/harness/... ./internal/service/...
 
-# Regenerate BENCH_core.json (fast-forward, wakeup and memory-path
-# speedups).
+# Regenerate BENCH_core.json (fast-forward, wakeup, memory-path,
+# observability, parallel-execution and checkpoint-forking
+# measurements).
 bench:
 	WRITE_BENCH=1 go test -run TestWriteBenchCoreJSON -v .
 

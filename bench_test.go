@@ -10,6 +10,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"reflect"
 	"runtime"
 	"testing"
 	"time"
@@ -577,6 +578,105 @@ func BenchmarkObsOverhead(b *testing.B) {
 	}
 }
 
+// sweepForkWarmupIters sizes the shared warm-up prefix of the sweep-
+// fork benchmark so warm-up dominates each point's run time: ~36k+
+// cycles of serial chained FP against a few-hundred-cycle parallel
+// body. That ratio is what checkpoint forking amortizes.
+const sweepForkWarmupIters = 12000
+
+// sweepForkSpecs is the 16-point (ChainLen x IndepOps) sweep grid of
+// the checkpoint-forking benchmark. Every variant differs only in
+// post-prefix knobs, so all sixteen share one prefix key and fork from
+// a single warmed parent.
+func sweepForkSpecs() []clustersmt.SyntheticSpec {
+	var specs []clustersmt.SyntheticSpec
+	for _, chain := range []int{0, 2, 4, 8} {
+		for _, indep := range []int{0, 2, 4, 6} {
+			specs = append(specs, clustersmt.SyntheticSpec{
+				ChainLen: chain, IndepOps: indep,
+				Iters: 192, WarmupIters: sweepForkWarmupIters,
+			})
+		}
+	}
+	return specs
+}
+
+// sweepForkWarmTarget probes how many cycles the shared warm-up prefix
+// lasts and returns a checkpoint cycle proven to still be inside it
+// (the probe observed PrefixValid at that exact pause point, and runs
+// are deterministic). Probing instead of hardcoding keeps the
+// benchmark honest if instruction latencies ever change.
+func sweepForkWarmTarget(spec clustersmt.SyntheticSpec) (int64, error) {
+	m := clustersmt.LowEnd(clustersmt.SMT2)
+	sim, err := clustersmt.NewSimulator(m, clustersmt.Synthetic(spec).Build(m.Threads(), m.Chips, clustersmt.SizeTest))
+	if err != nil {
+		return 0, err
+	}
+	const step = 4096
+	last := int64(0)
+	for target := int64(step); ; target += step {
+		if err := sim.RunTo(target); err != nil {
+			return 0, err
+		}
+		if sim.Done() || !sim.PrefixValid() {
+			break
+		}
+		last = target
+	}
+	if last == 0 {
+		return 0, fmt.Errorf("warm-up prefix over before cycle %d; enlarge sweepForkWarmupIters", step)
+	}
+	return last, nil
+}
+
+// runForkSweep runs the sweep grid through one fresh Suite on the
+// low-end SMT2, warm-started at warmCycles (0 = every point from
+// scratch), returning the per-point results and the fork count.
+func runForkSweep(specs []clustersmt.SyntheticSpec, warmCycles int64) ([]*clustersmt.Result, int64, error) {
+	suite := harness.NewSuite(workloads.SizeTest)
+	suite.WarmupCycles = warmCycles
+	out := make([]*clustersmt.Result, len(specs))
+	for i, spec := range specs {
+		r, err := suite.Run(clustersmt.Synthetic(spec), config.SMT2, false)
+		if err != nil {
+			return nil, 0, err
+		}
+		out[i] = r
+	}
+	forks, _ := suite.WarmForks()
+	return out, forks, nil
+}
+
+// BenchmarkSweepFork compares running a 16-point warm-up-dominated
+// sweep with every point simulated from scratch against forking all
+// sixteen points from one checkpoint taken inside the shared warm-up
+// prefix (results are bit-identical; see internal/harness/warmup_test.go).
+// The wall-clock ratio is the one recorded in BENCH_core.json — it is
+// pure warm-up amortization, so it holds on a single-CPU host too.
+func BenchmarkSweepFork(b *testing.B) {
+	specs := sweepForkSpecs()
+	warmAt, err := sweepForkWarmTarget(specs[0])
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, mode := range []struct {
+		name string
+		warm int64
+	}{
+		{"scratch", 0},
+		{"fork", warmAt},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := runForkSweep(specs, mode.warm); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(len(specs)*b.N)/b.Elapsed().Seconds(), "points/s")
+		})
+	}
+}
+
 // benchEntry is one BENCH_core.json record. The base/fast rate fields
 // carry entry-specific JSON names (cycle-stepped vs event-driven for
 // the fast-forward entry, scan vs wakeup for the issue-stage entry),
@@ -609,9 +709,102 @@ func bestOf(t *testing.T, reps int, fn func() (*clustersmt.Result, error)) (time
 	return min, cycles
 }
 
-// TestWriteBenchCoreJSON records the fast-forward, wakeup and
-// memory-path speedups in BENCH_core.json (run via `make bench`; gated
-// so ordinary test runs stay hermetic and fast).
+// readBenchRecords parses an existing BENCH_core.json into raw records
+// keyed by benchmark name, so the recorder can merge instead of blindly
+// overwriting. A missing or unparseable file yields nil (fresh start).
+func readBenchRecords(path string) map[string]json.RawMessage {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil
+	}
+	var arr []json.RawMessage
+	if json.Unmarshal(data, &arr) != nil {
+		return nil
+	}
+	out := map[string]json.RawMessage{}
+	for _, raw := range arr {
+		var e struct {
+			Benchmark string `json:"benchmark"`
+		}
+		if json.Unmarshal(raw, &e) == nil && e.Benchmark != "" {
+			out[e.Benchmark] = raw
+		}
+	}
+	return out
+}
+
+// parallelHostShape is the subset of a BenchmarkCoreParallel record the
+// recorder guard reads: how much host parallelism the measurement had.
+type parallelHostShape struct {
+	HostCPUs   int `json:"host_cpus"`
+	GoMaxProcs int `json:"gomaxprocs"`
+}
+
+// subFloorParallel reports whether a parallel measurement lacked the
+// host parallelism its 2x floor assumes (>= 4 CPUs and >= 4 procs, one
+// per simulated chip).
+func subFloorParallel(s parallelHostShape) bool {
+	return s.HostCPUs < 4 || s.GoMaxProcs < 4
+}
+
+// keepExistingParallel decides whether the recorder must keep an
+// existing BenchmarkCoreParallel record instead of replacing it: a
+// number measured with real host parallelism must never be clobbered by
+// a sub-floor re-run (a 1-CPU CI container would otherwise silently
+// replace the honest multi-core speedup with host-starvation noise).
+func keepExistingParallel(existing, fresh parallelHostShape) bool {
+	return !subFloorParallel(existing) && subFloorParallel(fresh)
+}
+
+// TestBenchParallelRecorderGuard pins the recorder's merge policy for
+// the host-parallelism-sensitive entry.
+func TestBenchParallelRecorderGuard(t *testing.T) {
+	big := parallelHostShape{HostCPUs: 8, GoMaxProcs: 8}
+	floor := parallelHostShape{HostCPUs: 4, GoMaxProcs: 4}
+	oneCPU := parallelHostShape{HostCPUs: 1, GoMaxProcs: 1}
+	starved := parallelHostShape{HostCPUs: 8, GoMaxProcs: 3}
+	for _, tc := range []struct {
+		name            string
+		existing, fresh parallelHostShape
+		keep            bool
+	}{
+		{"sub-floor must not clobber a real measurement", big, oneCPU, true},
+		{"the floor shape itself counts as real", floor, oneCPU, true},
+		{"GOMAXPROCS-starved counts as sub-floor", big, starved, true},
+		{"a real re-run replaces a real measurement", big, floor, false},
+		{"a real re-run upgrades a sub-floor record", oneCPU, big, false},
+		{"sub-floor may refresh sub-floor", oneCPU, oneCPU, false},
+	} {
+		if got := keepExistingParallel(tc.existing, tc.fresh); got != tc.keep {
+			t.Errorf("%s: keepExistingParallel(%+v, %+v) = %v, want %v",
+				tc.name, tc.existing, tc.fresh, got, tc.keep)
+		}
+	}
+
+	dir := t.TempDir() + "/bench.json"
+	if got := readBenchRecords(dir); got != nil {
+		t.Errorf("missing file: got %v, want nil", got)
+	}
+	if err := os.WriteFile(dir, []byte(`[{"benchmark":"A","speedup":2},{"benchmark":"B"},{"speedup":1}]`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	recs := readBenchRecords(dir)
+	if len(recs) != 2 || recs["A"] == nil || recs["B"] == nil {
+		t.Errorf("parsed records %v, want exactly A and B", recs)
+	}
+	if err := os.WriteFile(dir, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got := readBenchRecords(dir); got != nil {
+		t.Errorf("garbage file: got %v, want nil", got)
+	}
+}
+
+// TestWriteBenchCoreJSON records the fast-forward, wakeup, memory-path,
+// observability, parallel-execution and checkpoint-forking measurements
+// in BENCH_core.json (run via `make bench`; gated so ordinary test runs
+// stay hermetic and fast). The recorder merges with the existing file
+// for the host-parallelism-sensitive entry: see keepExistingParallel.
 func TestWriteBenchCoreJSON(t *testing.T) {
 	if os.Getenv("WRITE_BENCH") == "" {
 		t.Skip("set WRITE_BENCH=1 (make bench) to write BENCH_core.json")
@@ -737,6 +930,7 @@ func TestWriteBenchCoreJSON(t *testing.T) {
 		ParallelCyclesSec   float64 `json:"parallel_sim_cycles_per_sec"`
 		HostCPUs            int     `json:"host_cpus"`
 		GoMaxProcs          int     `json:"gomaxprocs"`
+		Note                string  `json:"note,omitempty"`
 	}{
 		benchEntry: benchEntry{
 			Benchmark: "BenchmarkCoreParallel",
@@ -750,27 +944,107 @@ func TestWriteBenchCoreJSON(t *testing.T) {
 		HostCPUs:            runtime.NumCPU(),
 		GoMaxProcs:          runtime.GOMAXPROCS(0),
 	}
+	freshShape := parallelHostShape{HostCPUs: parReport.HostCPUs, GoMaxProcs: parReport.GoMaxProcs}
 	if parReport.GoMaxProcs >= 4 && parReport.HostCPUs >= 4 {
 		if parReport.Speedup < 2.0 {
 			t.Fatalf("parallel speedup %.2fx below the 2x floor with %d procs on %d CPUs", parReport.Speedup, parReport.GoMaxProcs, parReport.HostCPUs)
 		}
 	} else {
+		parReport.Note = fmt.Sprintf("sub-floor host (%d CPUs, GOMAXPROCS=%d): the 2x parallel floor needs >= 4 of each; speedup recorded unenforced", parReport.HostCPUs, parReport.GoMaxProcs)
 		t.Logf("host has %d CPUs / GOMAXPROCS=%d; the 2x parallel floor needs >= 4 of each, recording %.2fx unenforced", parReport.HostCPUs, parReport.GoMaxProcs, parReport.Speedup)
 	}
 
-	out, err := json.MarshalIndent([]any{ffReport, wkReport, memReport, obsReport, parReport}, "", "  ")
+	// Merge guard: never let this run clobber an existing parallel
+	// record that was measured with real host parallelism if this host
+	// lacks it — keep the old raw record verbatim instead.
+	parRecord := any(parReport)
+	if raw, ok := readBenchRecords("BENCH_core.json")["BenchmarkCoreParallel"]; ok {
+		var old parallelHostShape
+		if json.Unmarshal(raw, &old) == nil && keepExistingParallel(old, freshShape) {
+			t.Logf("keeping the existing BenchmarkCoreParallel record (measured with %d CPUs / GOMAXPROCS=%d); this sub-floor host must not overwrite it", old.HostCPUs, old.GoMaxProcs)
+			parRecord = raw
+		}
+	}
+
+	// Entry 6: checkpoint/COW forking on a warm-up-dominated sweep. The
+	// scratch leg re-simulates the shared warm-up sixteen times; the
+	// fork leg warms one parent to the probed checkpoint and forks every
+	// grid point from it. Unlike the parallel entry this speedup is pure
+	// warm-up amortization — no host parallelism involved — so the 2x
+	// floor is enforced unconditionally, and so is bit-identity between
+	// the two legs.
+	const sweepReps = 3
+	sweepSpecs := sweepForkSpecs()
+	warmAt, err := sweepForkWarmTarget(sweepSpecs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	timeSweep := func(warm int64) (time.Duration, []*clustersmt.Result, int64) {
+		best := time.Duration(1<<63 - 1)
+		var results []*clustersmt.Result
+		var forks int64
+		for i := 0; i < sweepReps; i++ {
+			start := time.Now()
+			res, f, err := runForkSweep(sweepSpecs, warm)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d := time.Since(start); d < best {
+				best = d
+			}
+			results, forks = res, f
+		}
+		return best, results, forks
+	}
+	swScratch, scratchRes, _ := timeSweep(0)
+	swFork, forkRes, forks := timeSweep(warmAt)
+	if !reflect.DeepEqual(scratchRes, forkRes) {
+		t.Fatal("forked sweep results differ from scratch; checkpoint forking is unsound")
+	}
+	if forks != int64(len(sweepSpecs)) {
+		t.Fatalf("%d of %d sweep points forked from the checkpoint", forks, len(sweepSpecs))
+	}
+	var sweepCycles int64
+	for _, r := range scratchRes {
+		sweepCycles += r.Cycles
+	}
+	sweepReport := struct {
+		benchEntry
+		ScratchSecs     float64 `json:"scratch_secs"`
+		ForkSecs        float64 `json:"fork_secs"`
+		SweepPoints     int     `json:"sweep_points"`
+		CheckpointCycle int64   `json:"checkpoint_cycle"`
+	}{
+		benchEntry: benchEntry{
+			Benchmark: "BenchmarkSweepFork",
+			Machine:   clustersmt.LowEnd(clustersmt.SMT2).Name,
+			Workload:  fmt.Sprintf("16-point synth sweep (ChainLen x IndepOps grid sharing a %d-iteration warm-up prefix; every point from scratch vs COW-forked from one checkpoint)", int64(sweepForkWarmupIters)),
+			SimCycles: sweepCycles,
+			Speedup:   swScratch.Seconds() / swFork.Seconds(),
+		},
+		ScratchSecs:     swScratch.Seconds(),
+		ForkSecs:        swFork.Seconds(),
+		SweepPoints:     len(sweepSpecs),
+		CheckpointCycle: warmAt,
+	}
+	if sweepReport.Speedup < 2.0 {
+		t.Fatalf("sweep-fork speedup %.2fx below the 2x floor (%s scratch vs %s forked)", sweepReport.Speedup, swScratch, swFork)
+	}
+
+	out, err := json.MarshalIndent([]any{ffReport, wkReport, memReport, obsReport, parRecord, sweepReport}, "", "  ")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if err := os.WriteFile("BENCH_core.json", append(out, '\n'), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	t.Logf("fast-forward %.2fx (%s stepped, %s event-driven over %d cycles); wakeup %.2fx (%s scan, %s wakeup over %d cycles); memory %.2fx (%s reference, %s fastpath over %d cycles); obs sampling %+.1f%% (%s disabled, %s sampled over %d cycles); parallel %.2fx (%s sequential, %s parallel over %d cycles, %d procs)",
+	t.Logf("fast-forward %.2fx (%s stepped, %s event-driven over %d cycles); wakeup %.2fx (%s scan, %s wakeup over %d cycles); memory %.2fx (%s reference, %s fastpath over %d cycles); obs sampling %+.1f%% (%s disabled, %s sampled over %d cycles); parallel %.2fx (%s sequential, %s parallel over %d cycles, %d procs); sweep-fork %.2fx (%s scratch, %s forked, checkpoint at cycle %d)",
 		ffReport.Speedup, ffStepped, ffEvent, ffCycles,
 		wkReport.Speedup, wkScan, wkWakeup, wkCycles,
 		memReport.Speedup, memRef, memFast, memCycles,
 		obsReport.OverheadPct, obsOff, obsOn, obsCycles,
-		parReport.Speedup, parSeq, parPar, parCycles, parReport.GoMaxProcs)
+		parReport.Speedup, parSeq, parPar, parCycles, parReport.GoMaxProcs,
+		sweepReport.Speedup, swScratch, swFork, warmAt)
 }
 
 // BenchmarkMultiprogram measures multiprogrammed throughput: eight

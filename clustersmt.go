@@ -66,6 +66,23 @@ func NewSimulator(m Machine, p *Program) (*Simulator, error) {
 	return core.New(m, p)
 }
 
+// Restore rebuilds a runnable simulator from a Simulator.Snapshot
+// payload, validating it against the machine and program before any
+// state is constructed (see DESIGN.md §9 for the format). Typed
+// failures are the re-exported ErrSnapshot* sentinels.
+func Restore(m Machine, p *Program, data []byte) (*Simulator, error) {
+	return core.Restore(m, p, data)
+}
+
+// Snapshot/Restore error sentinels, re-exported from the core.
+var (
+	ErrSnapshotVersion     = core.ErrSnapshotVersion
+	ErrSnapshotTruncated   = core.ErrSnapshotTruncated
+	ErrSnapshotCorrupt     = core.ErrSnapshotCorrupt
+	ErrSnapshotMismatch    = core.ErrSnapshotMismatch
+	ErrSnapshotUnsupported = core.ErrSnapshotUnsupported
+)
+
 // Workload is one of the paper's six applications.
 type Workload = workloads.Workload
 

@@ -18,7 +18,7 @@
 //
 //	clusterd [-addr :8421] [-size ref] [-workers N] [-parallel] [-queue N]
 //	         [-cache-dir DIR] [-cache-entries N] [-max-cycles N]
-//	         [-metrics-interval N] [-port-file PATH]
+//	         [-warmup-cycles N] [-metrics-interval N] [-port-file PATH]
 //	         [-drain-timeout 30s]
 package main
 
@@ -52,6 +52,7 @@ func main() {
 	cacheDir := flag.String("cache-dir", "", "persist results under this directory (survives restarts)")
 	cacheEntries := flag.Int("cache-entries", 0, "in-memory result cache entries (0 = default)")
 	maxCycles := flag.Int64("max-cycles", 0, "per-simulation cycle bound (0 = core default)")
+	warmupCycles := flag.Int64("warmup-cycles", 0, "fork prefix-declaring workloads from a checkpoint warmed to this cycle (0 = off; persisted under -cache-dir)")
 	metricsInterval := flag.Int64("metrics-interval", 0, "sample interval metrics every N cycles (0 = off)")
 	metricsRing := flag.Int("metrics-ring", 0, "retained metrics frames per run (0 = default)")
 	portFile := flag.String("port-file", "", "write the bound port to this file once listening")
@@ -75,6 +76,7 @@ func main() {
 		CacheEntries:    *cacheEntries,
 		CacheDir:        *cacheDir,
 		MaxCycles:       *maxCycles,
+		WarmupCycles:    *warmupCycles,
 		MetricsInterval: *metricsInterval,
 		MetricsRingCap:  *metricsRing,
 	})

@@ -164,6 +164,14 @@ type cluster struct {
 	renameStalls     uint64
 	fetchGroups      uint64
 	windowFullStalls uint64
+
+	// pcHighWater is an upper bound on every static PC this cluster's
+	// threads have touched (executed, or peeked by the front end /
+	// fast-forward probes): it tracks the post-Step PC, which dominates
+	// both the executed PC and the PC any subsequent Peek reads. The
+	// fork path compares it against Program.PrefixLen to decide whether
+	// a warm-up checkpoint is still variant-independent (snapshot.go).
+	pcHighWater int64
 }
 
 // entryArenaSize is the batch size of the cluster entry allocator —
@@ -615,6 +623,13 @@ func (c *cluster) fetchFrom(s *Simulator, t *threadCtx, now int64, budget int, v
 		}
 
 		d := t.fn.Step()
+		if pc := t.fn.PC; pc > c.pcHighWater {
+			// Post-Step PC: the next instruction this thread can touch.
+			// Recording it (rather than d.PC) also covers front-end Peeks
+			// that never reach Step — a thread's current PC is always some
+			// earlier Step's post-PC, or the entry point.
+			c.pcHighWater = pc
+		}
 		fc := inf.Class
 		if fc == isa.ClassNone {
 			// Sync and halt pseudo-ops borrow an integer unit slot.

@@ -103,6 +103,12 @@ type Simulator struct {
 	// MaxCycles aborts the run when exceeded (safety net).
 	MaxCycles int64
 
+	// resumable marks a simulator that may legally (re-)enter the run
+	// loop at a non-zero cycle: one paused by RunTo, or one produced by
+	// Restore/Fork. A completed run clears it, restoring the original
+	// "already run" double-Run guard.
+	resumable bool
+
 	// Interrupt, when non-nil, is polled periodically during Run (every
 	// interruptPeriod simulated cycles); once it is closed or receives,
 	// Run returns ErrInterrupted promptly. It is how callers plumb
@@ -133,14 +139,25 @@ func New(m config.Machine, p *prog.Program) (*Simulator, error) {
 	if err := m.Validate(); err != nil {
 		return nil, err
 	}
+	s := newShell(m, p, interp.NewMemory(), coherence.NewSystem(m.Chips, m.Mem))
+	s.mem.LoadImage(p)
+	return s, nil
+}
+
+// newShell builds the complete machine structure — clusters, threads,
+// sync controller — around the given memory front end and timing memory
+// system, WITHOUT loading the program image. New loads the image into a
+// fresh memory; the fork and restore paths (snapshot.go) instead attach
+// a copy-on-write or decoded memory that already carries the warmed
+// store state, which LoadImage would clobber.
+func newShell(m config.Machine, p *prog.Program, mem *interp.Memory, msys *coherence.System) *Simulator {
 	s := &Simulator{
 		Machine:   m,
 		Program:   p,
-		mem:       interp.NewMemory(),
-		msys:      coherence.NewSystem(m.Chips, m.Mem),
+		mem:       mem,
+		msys:      msys,
 		MaxCycles: DefaultMaxCycles,
 	}
-	s.mem.LoadImage(p)
 	s.mems = []*interp.Memory{s.mem}
 	sync := parallel.NewSync(m.Threads())
 	s.syncs = []*parallel.Sync{sync}
@@ -180,7 +197,7 @@ func New(m config.Machine, p *prog.Program) (*Simulator, error) {
 	s.EventDriven = true
 	s.EventIssue = true
 	s.numberClusters()
-	return s, nil
+	return s
 }
 
 // numberClusters assigns each cluster its global (chip-major) index —
@@ -254,11 +271,38 @@ func (s *Simulator) step() bool {
 	return active
 }
 
-// Run simulates to completion and returns the result.
+// Run simulates to completion and returns the result. It may be called
+// on a fresh simulator, on one paused by RunTo, or on one produced by
+// Restore/Fork; a completed simulator cannot be run again.
 func (s *Simulator) Run() (*Result, error) {
-	if s.cycle != 0 {
+	return s.run(-1)
+}
+
+// RunTo advances the simulation until the cycle counter reaches at
+// least target (a fast-forward jump may overshoot it) or the program
+// completes, then pauses between cycles. A paused simulator can be
+// snapshotted, forked, or continued with Run/RunTo. Done reports which
+// way it ended.
+func (s *Simulator) RunTo(target int64) error {
+	_, err := s.run(target)
+	return err
+}
+
+// Done reports whether every thread has halted and drained (the run
+// completed, as opposed to pausing at a RunTo target).
+func (s *Simulator) Done() bool { return s.done() }
+
+// Cycle returns the current cycle counter.
+func (s *Simulator) Cycle() int64 { return s.cycle }
+
+// run is the shared run loop: target < 0 simulates to completion and
+// returns the result; otherwise it pauses once s.cycle >= target and
+// returns (nil, nil) with the simulator left resumable.
+func (s *Simulator) run(target int64) (*Result, error) {
+	if s.cycle != 0 && !s.resumable {
 		return nil, fmt.Errorf("core: simulator already run")
 	}
+	s.resumable = false
 	if s.Parallel {
 		if err := s.startParallel(); err != nil {
 			return nil, err
@@ -282,8 +326,16 @@ func (s *Simulator) Run() (*Result, error) {
 	// fast-forward jump crossing the next poll boundary is followed by
 	// a poll on the very next iteration — one jump, not interruptPeriod
 	// jumps, bounds the cancellation latency.
-	nextInterruptPoll := int64(interruptPeriod)
+	nextInterruptPoll := s.cycle + interruptPeriod
 	for !s.done() {
+		if target >= 0 && s.cycle >= target {
+			// Pause between cycles. The loop locals (idle, probe backoff)
+			// restart cold on resume; at worst the resumed loop steps a few
+			// cycles a fast-forward jump would have skipped, which the
+			// fast-forward bit-identity contract makes indistinguishable.
+			s.resumable = true
+			return nil, nil
+		}
 		if s.cycle >= s.MaxCycles {
 			return nil, fmt.Errorf("core: %s: exceeded %d cycles (committed %d instrs); livelock?",
 				s.Machine.Name, s.MaxCycles, s.committed)

@@ -19,6 +19,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"clustersmt/internal/config"
 	"clustersmt/internal/core"
@@ -79,9 +80,31 @@ type Suite struct {
 	// simulation's critical path).
 	OnFrame func(app, machine string, f obs.Frame)
 
+	// WarmupCycles > 0 enables checkpoint-based warm-up sharing: for
+	// workloads whose programs declare a shared prefix
+	// (prog.Builder.MarkPrefix), the suite runs one parent simulation
+	// per (machine, prefix) to this cycle, checkpoints it, and forks
+	// every variant from the warmed parent (core.Simulator.ForkProgram)
+	// instead of simulating each from cycle zero. Results stay
+	// bit-identical to scratch runs; the win is wall clock when the
+	// warm-up dominates and many variants share it. Workloads without a
+	// prefix, and parents whose warm-up ends before this cycle, fall
+	// back to scratch silently. Set before the first Run.
+	WarmupCycles int64
+	// Snapshots, when non-nil, persists warmed parent checkpoints so
+	// later processes restore them instead of re-running the warm-up
+	// (the serving subsystem backs this with its cache directory). Only
+	// consulted when WarmupCycles > 0. Set before the first Run.
+	Snapshots SnapshotStore
+
 	mu    sync.Mutex
 	cache map[runKey]*inflight
 	sem   chan struct{}
+
+	warmMu       sync.Mutex
+	warm         map[warmKey]*warmParent
+	warmForks    atomic.Int64
+	warmRestores atomic.Int64
 
 	obsMu sync.Mutex
 	rings map[string]*obs.Ring // "app@machine" -> retained frames
@@ -196,12 +219,20 @@ func (s *Suite) runOwned(ctx context.Context, app workloads.Workload, m config.M
 	return s.simulate(ctx, app, m)
 }
 
-// simulate performs one uncached simulation.
+// simulate performs one uncached simulation, starting from a shared
+// warmed checkpoint when warm-up sharing is enabled and applicable
+// (see warmup.go) and from cycle zero otherwise.
 func (s *Suite) simulate(ctx context.Context, app workloads.Workload, m config.Machine) (*core.Result, error) {
 	p := app.Build(m.Threads(), m.Chips, s.Size)
-	sim, err := core.New(m, p)
+	sim, warmed, err := s.warmStart(ctx, m, p)
 	if err != nil {
 		return nil, fmt.Errorf("harness: %s on %s: %w", app.Name, m.Name, err)
+	}
+	if sim == nil {
+		sim, err = core.New(m, p)
+		if err != nil {
+			return nil, fmt.Errorf("harness: %s on %s: %w", app.Name, m.Name, err)
+		}
 	}
 	if s.MaxCycles > 0 {
 		sim.MaxCycles = s.MaxCycles
@@ -209,17 +240,26 @@ func (s *Suite) simulate(ctx context.Context, app workloads.Workload, m config.M
 	sim.Parallel = s.Parallel
 	sim.Interrupt = ctx.Done()
 	if s.MetricsInterval > 0 || s.OnFrame != nil {
-		ring := sim.EnableMetrics(s.MetricsInterval, s.MetricsRingCap)
-		if s.OnFrame != nil {
-			appName, machine := app.Name, m.Name
-			sim.OnInterval(func(f obs.Frame) { s.OnFrame(appName, machine, f) })
+		// A forked child already carries the warmed parent's sampler —
+		// warm-up frames included, so its ring matches a scratch run's.
+		// Re-enabling would reset the sampling phase mid-run; only
+		// attach the per-run heartbeat and retain the ring.
+		ring := sim.Metrics()
+		if !warmed {
+			ring = sim.EnableMetrics(s.MetricsInterval, s.MetricsRingCap)
 		}
-		s.obsMu.Lock()
-		if s.rings == nil {
-			s.rings = make(map[string]*obs.Ring)
+		if ring != nil {
+			if s.OnFrame != nil {
+				appName, machine := app.Name, m.Name
+				sim.OnInterval(func(f obs.Frame) { s.OnFrame(appName, machine, f) })
+			}
+			s.obsMu.Lock()
+			if s.rings == nil {
+				s.rings = make(map[string]*obs.Ring)
+			}
+			s.rings[app.Name+"@"+m.Name] = ring
+			s.obsMu.Unlock()
 		}
-		s.rings[app.Name+"@"+m.Name] = ring
-		s.obsMu.Unlock()
 	}
 	r, err := sim.Run()
 	if err != nil {

@@ -55,6 +55,11 @@ type Cache struct {
 	mru  []int32
 	tick uint64
 
+	// cow marks the tag arrays (ways, mru) as shared with a forked twin;
+	// the first mutating method privatizes them via own(). Scalar fields
+	// (tick, stats) are copied by value at Fork time and never shared.
+	cow bool
+
 	// Stats.
 	Hits, Misses, Evictions, WritebackEvictions uint64
 }
@@ -96,6 +101,27 @@ func NewCache(name string, sizeKB, lineBytes, assoc int) *Cache {
 	return c
 }
 
+// Fork returns a copy-on-write clone of the cache: the clone shares the
+// tag arrays with c until either side first mutates, at which point the
+// mutator copies them (own). Counters and the LRU tick diverge freely —
+// they live in the struct, which is copied by value here.
+func (c *Cache) Fork() *Cache {
+	c.cow = true
+	cp := *c
+	return &cp
+}
+
+// own privatizes the tag arrays before a mutation when they are still
+// shared with a forked twin.
+func (c *Cache) own() {
+	if !c.cow {
+		return
+	}
+	c.ways = append([]way(nil), c.ways...)
+	c.mru = append([]int32(nil), c.mru...)
+	c.cow = false
+}
+
 // Sets returns the number of sets (diagnostics).
 func (c *Cache) Sets() int { return c.sets }
 
@@ -118,6 +144,7 @@ func (c *Cache) set(line int64) []way {
 // Lookup returns the state of line, counting a hit or miss, and updates
 // LRU on hit.
 func (c *Cache) Lookup(line int64) LineState {
+	c.own()
 	c.tick++
 	si := c.setIndex(line)
 	base := si * c.assoc
@@ -165,6 +192,7 @@ func (c *Cache) FindWay(line int64) int {
 // returned by FindWay: one tick, the LRU update and the Hits count. The
 // cache must not have been mutated since the FindWay call.
 func (c *Cache) TouchHit(wi int) LineState {
+	c.own()
 	c.tick++
 	w := &c.ways[wi]
 	w.lru = c.tick
@@ -174,7 +202,7 @@ func (c *Cache) TouchHit(wi int) LineState {
 }
 
 // TouchMiss replays what Lookup does on a miss: one tick and the Misses
-// count.
+// count. It touches only value fields, so no own() is needed.
 func (c *Cache) TouchMiss() {
 	c.tick++
 	c.Misses++
@@ -195,6 +223,7 @@ func (c *Cache) Probe(line int64) LineState {
 // SetState changes the state of a resident line; it is a no-op if the
 // line is not resident. Setting Invalid invalidates.
 func (c *Cache) SetState(line int64, st LineState) {
+	c.own()
 	set := c.set(line)
 	for i := range set {
 		w := &set[i]
@@ -216,6 +245,7 @@ type Victim struct {
 // set is full. If the line is already resident its state is updated in
 // place (no eviction).
 func (c *Cache) Insert(line int64, st LineState) Victim {
+	c.own()
 	c.tick++
 	si := c.setIndex(line)
 	set := c.ways[si*c.assoc : (si+1)*c.assoc]

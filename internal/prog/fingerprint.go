@@ -1,0 +1,67 @@
+package prog
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"sort"
+)
+
+// fingerprintVersion is folded into every program hash so the hash
+// changes if the encoding below ever does.
+const fingerprintVersion = "clustersmt.Program/v1"
+
+// Fingerprint returns a hash over everything about the program that can
+// influence execution: the full code image, the entry PC, the data
+// segment bound (which places thread stacks) and the initial memory
+// image. The name and symbol table are deliberately excluded — two
+// programs that differ only in labels behave identically.
+func (p *Program) Fingerprint() [32]byte {
+	return p.hashCode(len(p.Code))
+}
+
+// PrefixKey returns a hash identifying the program's warm-up prefix:
+// the first PrefixLen code slots plus the entry PC, data bound and full
+// initial memory image. Two programs with equal PrefixKeys execute
+// identically for as long as no PC at or beyond the prefix has been
+// fetched or peeked (the simulator tracks that bound as its PC high
+// water mark). ok is false when no prefix was declared.
+func (p *Program) PrefixKey() (key [32]byte, ok bool) {
+	if p.PrefixLen <= 0 || p.PrefixLen > len(p.Code) {
+		return key, false
+	}
+	return p.hashCode(p.PrefixLen), true
+}
+
+func (p *Program) hashCode(n int) [32]byte {
+	h := sha256.New()
+	var scratch [8]byte
+	w64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(scratch[:], v)
+		h.Write(scratch[:])
+	}
+	h.Write([]byte(fingerprintVersion))
+	w64(uint64(n))
+	for _, in := range p.Code[:n] {
+		h.Write([]byte{byte(in.Op), byte(in.RD), byte(in.RS1), byte(in.RS2),
+			byte(in.FD), byte(in.FS1), byte(in.FS2)})
+		w64(uint64(in.Imm))
+	}
+	w64(uint64(p.Entry))
+	w64(uint64(p.DataEnd))
+	addrs := make([]int64, 0, len(p.Init))
+	for a := range p.Init {
+		addrs = append(addrs, a)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	w64(uint64(len(addrs)))
+	for _, a := range addrs {
+		w64(uint64(a))
+		w64(p.Init[a])
+	}
+	var out [32]byte
+	h.Sum(out[:0])
+	return out
+}
+
+// hashCode covers every isa.Instr field; adding a field to isa.Instr
+// must extend the loop above and bump fingerprintVersion.

@@ -41,6 +41,13 @@ type Program struct {
 	DataEnd int64             // first byte past the data segment
 	Symbols map[string]Symbol // global objects by name
 	Init    map[int64]uint64  // initial memory image (word addr -> bits)
+
+	// PrefixLen, when non-zero, marks the first PrefixLen code slots as a
+	// warm-up prefix: a region the workload promises is identical across a
+	// family of config variants (see Builder.MarkPrefix). Checkpoints taken
+	// while execution has only consumed prefix code may be restored under
+	// any program with an equal PrefixKey. Zero means no prefix declared.
+	PrefixLen int
 }
 
 // SymbolAddr returns the address of a named global. It panics if the
@@ -85,6 +92,7 @@ type Builder struct {
 	next    int64 // next free data address
 	init    map[int64]uint64
 	pool    map[uint64]int64 // constant pool: bits -> address
+	prefix  int              // PrefixLen of the built program (0 = none)
 	errs    []error
 }
 
@@ -102,6 +110,23 @@ func NewBuilder(name string) *Builder {
 
 // PC returns the index of the next instruction to be emitted.
 func (b *Builder) PC() int { return len(b.code) }
+
+// MarkPrefix records the current PC as the end of the program's warm-up
+// prefix: every instruction emitted so far becomes part of the prefix
+// hashed by Program.PrefixKey. Call it once, after emitting the code
+// that is shared verbatim across config variants (typically ending in a
+// barrier) and before any variant-specific code.
+func (b *Builder) MarkPrefix() {
+	if b.prefix != 0 {
+		b.errs = append(b.errs, fmt.Errorf("prog: %s: MarkPrefix called twice", b.name))
+		return
+	}
+	if len(b.code) == 0 {
+		b.errs = append(b.errs, fmt.Errorf("prog: %s: MarkPrefix on empty prefix", b.name))
+		return
+	}
+	b.prefix = len(b.code)
+}
 
 // Global reserves words 8-byte words of zero-initialized global storage
 // and returns its base address.
@@ -463,12 +488,13 @@ func (b *Builder) Build() (*Program, error) {
 		syms[k] = v
 	}
 	return &Program{
-		Name:    b.name,
-		Code:    code,
-		Entry:   0,
-		DataEnd: b.next,
-		Symbols: syms,
-		Init:    init,
+		Name:      b.name,
+		Code:      code,
+		Entry:     0,
+		DataEnd:   b.next,
+		Symbols:   syms,
+		Init:      init,
+		PrefixLen: b.prefix,
 	}, nil
 }
 

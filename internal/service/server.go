@@ -38,6 +38,13 @@ type Options struct {
 	CacheDir string
 	// MaxCycles bounds each simulation (0 = core default).
 	MaxCycles int64
+	// WarmupCycles > 0 enables checkpoint-based warm-up sharing
+	// (harness.Suite.WarmupCycles): workloads declaring a shared
+	// prefix are forked from one warmed parent per (machine, prefix)
+	// instead of simulated from cycle zero. With CacheDir set, warmed
+	// checkpoints are persisted next to the result envelopes and
+	// restored across daemon restarts.
+	WarmupCycles int64
 	// MetricsInterval > 0 samples interval metrics on every simulation,
 	// served by GET /v1/metrics/{run}.
 	MetricsInterval int64
@@ -101,6 +108,10 @@ func (s *Server) suite(size workloads.Size) *harness.Suite {
 		st.Parallel = s.opts.Parallel
 		st.MetricsInterval = s.opts.MetricsInterval
 		st.MetricsRingCap = s.opts.MetricsRingCap
+		st.WarmupCycles = s.opts.WarmupCycles
+		if s.opts.WarmupCycles > 0 && s.opts.CacheDir != "" {
+			st.Snapshots = snapshotStore{dir: s.opts.CacheDir}
+		}
 		// The pool already bounds admission; let the suite run whatever
 		// the workers hand it (figure endpoints share the same suite and
 		// add their own demand, still bounded by GOMAXPROCS inside).
@@ -384,6 +395,23 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	accepted, rejected, completed := s.pool.Counters()
+	var warmForks, warmRestores int64
+	s.suiteMu.Lock()
+	for _, st := range s.suites {
+		f, r := st.WarmForks()
+		warmForks += f
+		warmRestores += r
+	}
+	s.suiteMu.Unlock()
+	warm := map[string]any{
+		"enabled":  s.opts.WarmupCycles > 0,
+		"cycles":   s.opts.WarmupCycles,
+		"forks":    warmForks,
+		"restores": warmRestores,
+	}
+	if s.opts.WarmupCycles > 0 && s.opts.CacheDir != "" {
+		warm["persisted"] = snapshotStore{dir: s.opts.CacheDir}.Snapshots()
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":         "ok",
 		"uptime_seconds": int64(time.Since(s.started).Seconds()),
@@ -396,6 +424,7 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 			"rejected":  rejected,
 			"completed": completed,
 		},
-		"cache": s.cache.Stats(),
+		"cache":  s.cache.Stats(),
+		"warmup": warm,
 	})
 }

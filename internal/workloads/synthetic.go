@@ -2,6 +2,8 @@ package workloads
 
 import (
 	"fmt"
+	"strconv"
+	"strings"
 
 	"clustersmt/internal/isa"
 	"clustersmt/internal/prog"
@@ -37,6 +39,18 @@ type SyntheticSpec struct {
 	SerialIters int64
 	// Steps is the number of barrier-delimited repetitions (0 = 2).
 	Steps int64
+	// WarmupIters, when positive, prepends a warm-up phase — thread 0
+	// runs that many iterations of a serial chained loop that also
+	// walks the data array (warming caches, TLB and predictors) while
+	// the other threads park at a barrier — and marks everything up to
+	// and including that barrier as the program's shared prefix
+	// (prog.Builder.MarkPrefix). Specs that differ only in the
+	// post-prefix knobs (ParCap, ChainLen, IndepOps, MemOps, Iters,
+	// SerialIters, Steps) then share a prefix key, so one warmed
+	// checkpoint forks into every variant (core.ForkProgram). Specs
+	// must agree on WarmupIters and FootprintKB (and machine shape) to
+	// share — the prefix key hashes the data image too.
+	WarmupIters int64
 }
 
 func (s SyntheticSpec) withDefaults() SyntheticSpec {
@@ -66,15 +80,73 @@ func Synthetic(spec SyntheticSpec) Workload {
 		// The name encodes the full defaulted spec: harness.Suite keys
 		// its run cache by workload name, so two distinct specs must
 		// never share one (and two equal specs always do).
-		Name: fmt.Sprintf("synth(p%d,c%d,i%d,m%d,f%d,n%d,s%d,t%d)",
-			spec.ParCap, spec.ChainLen, spec.IndepOps, spec.MemOps,
-			spec.FootprintKB, spec.Iters, spec.SerialIters, spec.Steps),
+		Name: syntheticName(spec),
 		Description: "parameterized synthetic workload (threads x ILP plane generator)",
 		ParCap:      spec.ParCap,
 		Build: func(threads, chips int, size Size) *prog.Program {
 			return buildSynthetic(spec, threads, chips, size)
 		},
 	}
+}
+
+// syntheticName encodes the full defaulted spec injectively. The
+// warm-up suffix appears only when set, so pre-existing spec names (and
+// the run-cache keys derived from them) are unchanged.
+func syntheticName(spec SyntheticSpec) string {
+	name := fmt.Sprintf("synth(p%d,c%d,i%d,m%d,f%d,n%d,s%d,t%d",
+		spec.ParCap, spec.ChainLen, spec.IndepOps, spec.MemOps,
+		spec.FootprintKB, spec.Iters, spec.SerialIters, spec.Steps)
+	if spec.WarmupIters > 0 {
+		name += fmt.Sprintf(",w%d", spec.WarmupIters)
+	}
+	return name + ")"
+}
+
+// ParseSynthetic inverts syntheticName: it resolves a canonical
+// "synth(p…,c…,i…,m…,f…,n…,s…,t…[,w…])" name back to its workload, so
+// the serving subsystem can accept sweep-grid jobs by name. Only
+// canonical names round-trip (the parsed spec must render back to
+// exactly the input), which keeps one name per spec and the service's
+// content-addressed hashes unambiguous.
+func ParseSynthetic(name string) (Workload, error) {
+	body, ok := strings.CutPrefix(name, "synth(")
+	if ok {
+		body, ok = strings.CutSuffix(body, ")")
+	}
+	if !ok {
+		return Workload{}, fmt.Errorf("workloads: %q is not a synth(...) name", name)
+	}
+	fields := strings.Split(body, ",")
+	keys := []string{"p", "c", "i", "m", "f", "n", "s", "t"}
+	if len(fields) < len(keys) || len(fields) > len(keys)+1 {
+		return Workload{}, fmt.Errorf("workloads: %q: want %d or %d spec fields", name, len(keys), len(keys)+1)
+	}
+	var v [9]int64
+	for i, f := range fields {
+		key := "w" // the optional ninth field
+		if i < len(keys) {
+			key = keys[i]
+		}
+		rest, ok := strings.CutPrefix(f, key)
+		if !ok {
+			return Workload{}, fmt.Errorf("workloads: %q: field %d is %q, want %q prefix", name, i, f, key)
+		}
+		n, err := strconv.ParseInt(rest, 10, 64)
+		if err != nil {
+			return Workload{}, fmt.Errorf("workloads: %q: field %q: %v", name, f, err)
+		}
+		v[i] = n
+	}
+	spec := SyntheticSpec{
+		ParCap: int(v[0]), ChainLen: int(v[1]), IndepOps: int(v[2]),
+		MemOps: int(v[3]), FootprintKB: int(v[4]), Iters: v[5],
+		SerialIters: v[6], Steps: v[7], WarmupIters: v[8],
+	}
+	w := Synthetic(spec)
+	if w.Name != name {
+		return Workload{}, fmt.Errorf("workloads: %q is not canonical (want %q)", name, w.Name)
+	}
+	return w, nil
 }
 
 func buildSynthetic(spec SyntheticSpec, threads, chips int, size Size) *prog.Program {
@@ -106,6 +178,30 @@ func buildSynthetic(spec SyntheticSpec, threads, chips int, size Size) *prog.Pro
 	)
 
 	b.Fli(fK, 0.501)
+	if spec.WarmupIters > 0 {
+		// Warm-up: thread 0 runs a serial carried chain that also walks
+		// the data array; everyone else parks at the barrier. Everything
+		// through the barrier is variant-independent, so it is marked as
+		// the shared prefix — a checkpoint taken while still inside it
+		// forks into any same-prefix variant.
+		b.IfThread0(func() {
+			b.Li(rSer, 0)
+			b.Li(rSeB, spec.WarmupIters)
+			b.Fli(fT, 0.75)
+			b.Li(rA, 0)
+			b.Li(rT1, words*prog.WordSize)
+			b.CountedLoop(rSer, rSeB, func() {
+				b.Ldf(fIndB, rA, data)
+				b.Addi(rA, rA, 72)
+				b.Rem(rA, rA, rT1)
+				b.Fmul(fT, fT, fK)
+				b.Fadd(fT, fT, fK)
+			})
+			b.Stf(fT, isa.RegZero, b.MustAddr("out"))
+		})
+		b.Barrier(2)
+		b.MarkPrefix()
+	}
 	emitChunk(b, iters, spec.ParCap)
 	b.Li(rS, 0)
 	b.Li(rSB, spec.Steps)

@@ -106,3 +106,44 @@ func TestSyntheticFootprintRaisesMemory(t *testing.T) {
 			big.Slots.Fraction(5), small.Slots.Fraction(5))
 	}
 }
+
+// TestParseSynthetic pins the name grammar: every canonical name (with
+// and without the warm-up suffix) round-trips through ParseSynthetic
+// and ByName, and anything non-canonical — wrong key, extra field,
+// defaulted-field mismatch — is rejected, keeping one name per spec.
+func TestParseSynthetic(t *testing.T) {
+	for _, spec := range []SyntheticSpec{
+		{},
+		{ParCap: 2, ChainLen: 4, IndepOps: 1, MemOps: 3, FootprintKB: 64, Iters: 1024, SerialIters: 32, Steps: 3},
+		{ChainLen: 2, IndepOps: 2, Iters: 256, WarmupIters: 1500},
+	} {
+		name := Synthetic(spec).Name
+		w, err := ParseSynthetic(name)
+		if err != nil {
+			t.Errorf("ParseSynthetic(%q): %v", name, err)
+			continue
+		}
+		if w.Name != name {
+			t.Errorf("ParseSynthetic(%q) returned %q", name, w.Name)
+		}
+		if bn, err := ByName(name); err != nil || bn.Name != name {
+			t.Errorf("ByName(%q) = %q, %v", name, bn.Name, err)
+		}
+	}
+
+	for _, bad := range []string{
+		"",
+		"swim",
+		"synth()",
+		"synth(p0,c0,i0)",
+		"synth(p0,c0,i0,m1,f16,n4096,s0,t2,w0)", // w0 is elided in canonical names
+		"synth(p0,c0,i0,m0,f16,n4096,s0,t2)",    // MemOps defaults to 1, so m0 never renders
+		"synth(p0,c0,i0,m1,f16,n4096,s0,t2,x5)", // wrong key
+		"synth(p0,c0,i0,m1,f16,n4096,s0,t2,w1,w2)", // too many fields
+		"synth(p0,c0,i0,m1,f16,nABC,s0,t2)",
+	} {
+		if _, err := ParseSynthetic(bad); err == nil {
+			t.Errorf("ParseSynthetic(%q) accepted a non-canonical name", bad)
+		}
+	}
+}

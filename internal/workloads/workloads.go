@@ -16,6 +16,7 @@ package workloads
 import (
 	"fmt"
 	"math"
+	"strings"
 
 	"clustersmt/internal/isa"
 	"clustersmt/internal/prog"
@@ -89,13 +90,18 @@ func Extras() []Workload {
 	return []Workload{Radix(), LU()}
 }
 
-// ByName returns the named workload, searching the paper's six and the
-// extras.
+// ByName returns the named workload, searching the paper's six, the
+// extras, and — for canonical "synth(...)" names — the synthetic
+// generator (ParseSynthetic), so sweep-grid points are addressable
+// wherever the applications are (the serving subsystem in particular).
 func ByName(name string) (Workload, error) {
 	for _, w := range append(All(), Extras()...) {
 		if w.Name == name {
 			return w, nil
 		}
+	}
+	if strings.HasPrefix(name, "synth(") {
+		return ParseSynthetic(name)
 	}
 	return Workload{}, fmt.Errorf("workloads: unknown workload %q", name)
 }
