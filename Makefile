@@ -26,8 +26,8 @@ race:
 	go test -race ./internal/harness/... ./internal/service/...
 
 # Regenerate BENCH_core.json (fast-forward, wakeup, memory-path,
-# observability, parallel-execution and checkpoint-forking
-# measurements).
+# observability, parallel-execution, checkpoint-forking and fabric
+# scale-out measurements).
 bench:
 	WRITE_BENCH=1 go test -run TestWriteBenchCoreJSON -v .
 

@@ -14,12 +14,22 @@
 // SIGTERM) stops admission, drains running jobs, and persists the
 // cache index.
 //
+// Several daemons form a fabric: one runs with -coordinator and the
+// rest join it with -join. The coordinator routes each job to the
+// worker owning its content hash on a consistent-hash ring, workers
+// answer each other's cache probes and ship warmed checkpoints, and a
+// worker that stops heartbeating is evicted — its jobs requeue and its
+// keys rebalance. Every fabric failure degrades to local simulation;
+// results are bit-identical with or without the fleet.
+//
 // Usage:
 //
 //	clusterd [-addr :8421] [-size ref] [-workers N] [-parallel] [-queue N]
 //	         [-cache-dir DIR] [-cache-entries N] [-max-cycles N]
 //	         [-warmup-cycles N] [-metrics-interval N] [-port-file PATH]
 //	         [-drain-timeout 30s]
+//	         [-coordinator | -join URL [-advertise URL]]
+//	         [-heartbeat 5s] [-heartbeat-timeout 15s]
 package main
 
 import (
@@ -37,6 +47,7 @@ import (
 	"time"
 
 	"clustersmt/internal/service"
+	"clustersmt/internal/version"
 	"clustersmt/internal/workloads"
 )
 
@@ -57,7 +68,20 @@ func main() {
 	metricsRing := flag.Int("metrics-ring", 0, "retained metrics frames per run (0 = default)")
 	portFile := flag.String("port-file", "", "write the bound port to this file once listening")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "max time to drain running jobs at shutdown")
+	coordinator := flag.Bool("coordinator", false, "run as the fabric coordinator: accept worker registrations and route jobs by content hash")
+	joinURL := flag.String("join", "", "join the fabric coordinated at this URL (worker mode)")
+	advertiseURL := flag.String("advertise", "", "base URL peers reach this worker at (default: http://127.0.0.1:<bound port>)")
+	heartbeat := flag.Duration("heartbeat", service.DefaultHeartbeatInterval, "worker heartbeat interval")
+	heartbeatTimeout := flag.Duration("heartbeat-timeout", 0, "evict workers whose last heartbeat is older than this (0 = 3 intervals)")
+	showVersion := flag.Bool("version", false, "print build information and exit")
 	flag.Parse()
+	if *showVersion {
+		fmt.Println(version.String())
+		return
+	}
+	if *coordinator && *joinURL != "" {
+		log.Fatal("-coordinator and -join are mutually exclusive")
+	}
 
 	size := workloads.SizeRef
 	switch strings.ToLower(*sizeName) {
@@ -79,6 +103,10 @@ func main() {
 		WarmupCycles:    *warmupCycles,
 		MetricsInterval: *metricsInterval,
 		MetricsRingCap:  *metricsRing,
+
+		Coordinator:       *coordinator,
+		HeartbeatInterval: *heartbeat,
+		HeartbeatTimeout:  *heartbeatTimeout,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -94,11 +122,28 @@ func main() {
 			log.Fatal(err)
 		}
 	}
-	log.Printf("listening on %s (default size %s, queue %d)", ln.Addr(), size, *queueCap)
+	role := "single"
+	if *coordinator {
+		role = "coordinator"
+	} else if *joinURL != "" {
+		role = "worker"
+	}
+	log.Printf("listening on %s (default size %s, queue %d, role %s)", ln.Addr(), size, *queueCap, role)
 
 	httpSrv := &http.Server{Handler: svc.Handler()}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	if *joinURL != "" {
+		adv := *advertiseURL
+		if adv == "" {
+			adv = fmt.Sprintf("http://127.0.0.1:%d", port)
+		}
+		if err := svc.JoinFabric(*joinURL, adv); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("joining fabric at %s as %s", *joinURL, adv)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

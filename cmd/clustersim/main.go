@@ -24,6 +24,7 @@ import (
 	"clustersmt"
 	"clustersmt/internal/core"
 	"clustersmt/internal/obs"
+	"clustersmt/internal/version"
 )
 
 func main() {
@@ -47,7 +48,12 @@ func main() {
 	metricsRing := flag.Int("metrics-ring", 0, "retain at most this many frames (0 = default ring size; oldest dropped)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file at exit")
+	showVersion := flag.Bool("version", false, "print build information and exit")
 	flag.Parse()
+	if *showVersion {
+		fmt.Println(version.String())
+		return
+	}
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)

@@ -30,6 +30,7 @@ import (
 	"clustersmt/internal/harness"
 	"clustersmt/internal/isa"
 	"clustersmt/internal/model"
+	"clustersmt/internal/version"
 	"clustersmt/internal/workloads"
 )
 
@@ -47,7 +48,12 @@ func main() {
 	warmupCycles := flag.Int64("warmup-cycles", 0, "fork prefix-declaring workloads from a checkpoint warmed to this cycle (0 = off)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file at exit")
+	showVersion := flag.Bool("version", false, "print build information and exit")
 	flag.Parse()
+	if *showVersion {
+		fmt.Println(version.String())
+		return
+	}
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)

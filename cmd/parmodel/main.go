@@ -14,6 +14,7 @@ import (
 	"log"
 
 	"clustersmt"
+	"clustersmt/internal/version"
 )
 
 func main() {
@@ -23,7 +24,12 @@ func main() {
 	threads := flag.Float64("threads", 5, "application thread-level parallelism")
 	ilp := flag.Float64("ilp", 1.6, "application ILP per thread")
 	archName := flag.String("arch", "SMT2", "architecture to chart")
+	showVersion := flag.Bool("version", false, "print build information and exit")
 	flag.Parse()
+	if *showVersion {
+		fmt.Println(version.String())
+		return
+	}
 
 	if *threads <= 0 || *ilp <= 0 {
 		log.Fatal("threads and ilp must be positive")

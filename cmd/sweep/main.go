@@ -31,6 +31,7 @@ import (
 
 	"clustersmt"
 	"clustersmt/internal/harness"
+	"clustersmt/internal/version"
 )
 
 func main() {
@@ -42,7 +43,12 @@ func main() {
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "max simultaneous simulations")
 	warmupIters := flag.Int64("warmup-iters", 0, "prepend a shared warm-up prefix of N serial iterations to every grid cell")
 	warmupCycles := flag.Int64("warmup-cycles", 0, "checkpoint the warm-up at this cycle and fork grid cells from it (0 = off)")
+	showVersion := flag.Bool("version", false, "print build information and exit")
 	flag.Parse()
+	if *showVersion {
+		fmt.Println(version.String())
+		return
+	}
 
 	var archs []clustersmt.Arch
 	for _, name := range strings.Split(*archList, ",") {

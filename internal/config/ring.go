@@ -1,0 +1,127 @@
+package config
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"sort"
+	"strconv"
+)
+
+// Ring is a consistent-hash ring over 32-byte content keys — the
+// routing half of the scale-out job fabric. Nodes are opaque strings
+// (the fabric uses advertised worker URLs); each node contributes
+// DefaultRingReplicas virtual points so ownership spreads evenly, and a
+// key's owner is the first point clockwise from the key's position.
+//
+// The properties the fabric relies on, pinned by ring_test.go:
+//
+//   - Determinism: ownership is a pure function of the member set, so
+//     every caller with the same view routes identically.
+//   - Stability: adding or removing one node remaps only the keys that
+//     move to/from that node (~1/n of the space); everything else keeps
+//     its owner, which is what lets the federated result cache stay hot
+//     across membership changes.
+//   - Aliasing: physically identical configs share a Machine/job hash
+//     (config.Canonical), so FA8 and SMT8 land on one node by
+//     construction — the cache-federation analogue of the harness's
+//     shared run cache.
+//
+// Ring is not safe for concurrent use; the fabric guards it with its
+// membership mutex.
+type Ring struct {
+	replicas int
+	nodes    map[string]bool
+	points   []ringPoint // sorted by hash
+}
+
+type ringPoint struct {
+	hash uint64
+	node string
+}
+
+// DefaultRingReplicas is the virtual-point count per node when NewRing
+// is given 0. 64 points per node keeps the max/min ownership ratio
+// within ~2x for small fleets while membership changes stay cheap.
+const DefaultRingReplicas = 64
+
+// NewRing returns an empty ring with the given virtual-point count per
+// node (0 = DefaultRingReplicas).
+func NewRing(replicas int) *Ring {
+	if replicas <= 0 {
+		replicas = DefaultRingReplicas
+	}
+	return &Ring{replicas: replicas, nodes: make(map[string]bool)}
+}
+
+// pointHash positions one virtual point: the first 8 bytes of
+// SHA-256(node "#" replica), matching the key positioning so node and
+// key placement draw from one distribution.
+func pointHash(node string, replica int) uint64 {
+	sum := sha256.Sum256([]byte(node + "#" + strconv.Itoa(replica)))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// Add inserts node's virtual points (idempotent).
+func (r *Ring) Add(node string) {
+	if r.nodes[node] {
+		return
+	}
+	r.nodes[node] = true
+	for i := 0; i < r.replicas; i++ {
+		r.points = append(r.points, ringPoint{hash: pointHash(node, i), node: node})
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// Hash ties (vanishingly rare) break on the node name so the
+		// order — and hence ownership — stays deterministic.
+		return r.points[i].node < r.points[j].node
+	})
+}
+
+// Remove deletes node's virtual points (idempotent).
+func (r *Ring) Remove(node string) {
+	if !r.nodes[node] {
+		return
+	}
+	delete(r.nodes, node)
+	kept := r.points[:0]
+	for _, p := range r.points {
+		if p.node != node {
+			kept = append(kept, p)
+		}
+	}
+	r.points = kept
+}
+
+// Len returns the node count.
+func (r *Ring) Len() int { return len(r.nodes) }
+
+// Nodes returns the member set, sorted.
+func (r *Ring) Nodes() []string {
+	out := make([]string, 0, len(r.nodes))
+	for n := range r.nodes {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Has reports whether node is a member.
+func (r *Ring) Has(node string) bool { return r.nodes[node] }
+
+// Owner returns the node owning key — the first virtual point at or
+// clockwise after the key's position, wrapping at the top — and false
+// when the ring is empty.
+func (r *Ring) Owner(key [32]byte) (string, bool) {
+	if len(r.points) == 0 {
+		return "", false
+	}
+	h := binary.BigEndian.Uint64(key[:8])
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].node, true
+}

@@ -1,0 +1,190 @@
+package config
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"testing"
+)
+
+func ringKeys(n int) [][32]byte {
+	keys := make([][32]byte, n)
+	for i := range keys {
+		keys[i] = sha256.Sum256([]byte(fmt.Sprintf("key-%d", i)))
+	}
+	return keys
+}
+
+func owners(t *testing.T, r *Ring, keys [][32]byte) []string {
+	t.Helper()
+	out := make([]string, len(keys))
+	for i, k := range keys {
+		o, ok := r.Owner(k)
+		if !ok {
+			t.Fatal("Owner on a non-empty ring returned !ok")
+		}
+		out[i] = o
+	}
+	return out
+}
+
+// TestRingRemoveRemapsOnlyEvictedKeys pins the eviction half of ring
+// stability: removing one node moves exactly the keys that node owned —
+// every other key keeps its owner, so a worker loss cannot scramble the
+// surviving workers' caches.
+func TestRingRemoveRemapsOnlyEvictedKeys(t *testing.T) {
+	const nodes, nkeys = 5, 4096
+	r := NewRing(0)
+	for i := 0; i < nodes; i++ {
+		r.Add(fmt.Sprintf("http://worker-%d", i))
+	}
+	keys := ringKeys(nkeys)
+	before := owners(t, r, keys)
+
+	const victim = "http://worker-2"
+	victimKeys := 0
+	for _, o := range before {
+		if o == victim {
+			victimKeys++
+		}
+	}
+	if victimKeys == 0 {
+		t.Fatal("victim node owned no keys; enlarge the key set")
+	}
+
+	r.Remove(victim)
+	after := owners(t, r, keys)
+	moved := 0
+	for i := range keys {
+		if before[i] == victim {
+			if after[i] == victim {
+				t.Fatalf("key %d still owned by the removed node", i)
+			}
+			moved++
+			continue
+		}
+		if after[i] != before[i] {
+			t.Fatalf("key %d moved %s -> %s although its owner was not removed",
+				i, before[i], after[i])
+		}
+	}
+	if moved != victimKeys {
+		t.Fatalf("%d keys moved, want exactly the victim's %d", moved, victimKeys)
+	}
+}
+
+// TestRingAddRemapsExpectedFraction pins the join half: adding a node
+// to an n-node ring moves only keys that now map to the new node, and
+// the moved fraction stays near 1/(n+1) — the property that makes
+// scale-out cheap for the federated cache (most keys stay put, the new
+// node warms up its fair share).
+func TestRingAddRemapsExpectedFraction(t *testing.T) {
+	const nodes, nkeys = 3, 4096
+	r := NewRing(0)
+	for i := 0; i < nodes; i++ {
+		r.Add(fmt.Sprintf("http://worker-%d", i))
+	}
+	keys := ringKeys(nkeys)
+	before := owners(t, r, keys)
+
+	const joiner = "http://worker-new"
+	r.Add(joiner)
+	after := owners(t, r, keys)
+
+	moved := 0
+	for i := range keys {
+		if after[i] == before[i] {
+			continue
+		}
+		if after[i] != joiner {
+			t.Fatalf("key %d moved %s -> %s, not to the joining node",
+				i, before[i], after[i])
+		}
+		moved++
+	}
+	frac := float64(moved) / float64(nkeys)
+	expect := 1.0 / float64(nodes+1)
+	// Virtual-point placement is random-ish, so allow a generous band
+	// around the ideal share; the property under test is "about 1/n+1",
+	// not the exact variance of 64 replicas.
+	if frac < expect/3 || frac > expect*3 {
+		t.Fatalf("join remapped %.1f%% of keys, want ~%.1f%% (1/%d)",
+			100*frac, 100*expect, nodes+1)
+	}
+}
+
+// TestRingBalance bounds ownership skew: with DefaultRingReplicas every
+// node of a 4-node ring owns a nontrivial share of a large key set.
+func TestRingBalance(t *testing.T) {
+	const nodes, nkeys = 4, 8192
+	r := NewRing(0)
+	for i := 0; i < nodes; i++ {
+		r.Add(fmt.Sprintf("http://worker-%d", i))
+	}
+	counts := make(map[string]int)
+	for _, o := range owners(t, r, ringKeys(nkeys)) {
+		counts[o]++
+	}
+	if len(counts) != nodes {
+		t.Fatalf("only %d of %d nodes own keys", len(counts), nodes)
+	}
+	for n, c := range counts {
+		frac := float64(c) / float64(nkeys)
+		if frac < 0.05 {
+			t.Fatalf("node %s owns %.1f%% of keys; ring too skewed", n, 100*frac)
+		}
+	}
+}
+
+// TestRingDeterminismAndIdempotence pins that ownership is a pure
+// function of the member set: rebuilding the ring in a different order
+// routes identically, Add/Remove are idempotent, and an emptied ring
+// reports no owner.
+func TestRingDeterminismAndIdempotence(t *testing.T) {
+	keys := ringKeys(512)
+	a := NewRing(0)
+	for _, n := range []string{"u1", "u2", "u3"} {
+		a.Add(n)
+	}
+	b := NewRing(0)
+	for _, n := range []string{"u3", "u1", "u2", "u2"} {
+		b.Add(n)
+	}
+	for i, k := range keys {
+		ao, _ := a.Owner(k)
+		bo, _ := b.Owner(k)
+		if ao != bo {
+			t.Fatalf("key %d: insertion order changed owner (%s vs %s)", i, ao, bo)
+		}
+	}
+	b.Remove("u2")
+	b.Remove("u2")
+	if b.Len() != 2 || b.Has("u2") {
+		t.Fatalf("double remove left %d nodes (has u2: %v)", b.Len(), b.Has("u2"))
+	}
+	b.Remove("u1")
+	b.Remove("u3")
+	if _, ok := b.Owner(keys[0]); ok {
+		t.Fatal("empty ring claimed an owner")
+	}
+}
+
+// TestRingFA8SMT8Alias pins the fabric-level consequence of canonical
+// hashing: FA8 and SMT8 are the same silicon, share a Machine hash, and
+// therefore always route to one node — the federated cache stores their
+// shared result exactly once fleet-wide.
+func TestRingFA8SMT8Alias(t *testing.T) {
+	fa8 := LowEnd(FA8).Hash()
+	smt8 := LowEnd(SMT8).Hash()
+	if fa8 != smt8 {
+		t.Fatal("FA8 and SMT8 machine hashes differ; canonical aliasing broken")
+	}
+	r := NewRing(0)
+	for i := 0; i < 7; i++ {
+		r.Add(fmt.Sprintf("http://worker-%d", i))
+	}
+	a, _ := r.Owner(fa8)
+	b, _ := r.Owner(smt8)
+	if a != b {
+		t.Fatalf("aliased configs routed to different nodes: %s vs %s", a, b)
+	}
+}

@@ -35,6 +35,16 @@ var FAFigureArchs = []config.Arch{config.FA8, config.FA4, config.FA2, config.FA1
 // SMTFigureArchs is the architecture set of Figures 7 and 8.
 var SMTFigureArchs = []config.Arch{config.SMT8, config.SMT4, config.SMT2, config.SMT1}
 
+// RemoteFunc is the Suite.Remote hook signature: given the run's
+// identity in wire-expressible form (canonical app name, Table 2
+// architecture, machine class — the suite supplies its own input
+// size), it may produce the run's outcome from somewhere else (a peer
+// cache, a fleet dispatch). handled=false means "no remote answer,
+// simulate locally"; handled=true with a non-nil err is a definitive
+// remote failure (including ctx cancellation, which must be returned
+// errors.Is-compatible with ctx.Err()).
+type RemoteFunc func(ctx context.Context, app string, arch config.Arch, highEnd bool) (res *core.Result, handled bool, err error)
+
 type runKey struct {
 	app      string
 	clusters int
@@ -80,6 +90,20 @@ type Suite struct {
 	// simulation's critical path).
 	OnFrame func(app, machine string, f obs.Frame)
 
+	// Remote, when non-nil, is consulted by the singleflight owner of
+	// each uncached run before it simulates anything — the scale-out
+	// fabric's hook. Returning handled=true makes (res, err) the run's
+	// outcome, cached exactly like a local simulation's (so a fleet
+	// dispatch or peer-cache hit is still deduplicated across
+	// overlapping figures, and a remote cancellation follows the
+	// cancel-retry path). Returning handled=false falls back to the
+	// local scratch/warm-start path — the hook must degrade, never
+	// fail, on fabric trouble. Because the hook runs on the owner side
+	// of the singleflight, a burst of identical requests costs one
+	// remote lookup, and remote-served runs never occupy a local
+	// simulation slot. Set before the first Run.
+	Remote RemoteFunc
+
 	// WarmupCycles > 0 enables checkpoint-based warm-up sharing: for
 	// workloads whose programs declare a shared prefix
 	// (prog.Builder.MarkPrefix), the suite runs one parent simulation
@@ -105,6 +129,7 @@ type Suite struct {
 	warm         map[warmKey]*warmParent
 	warmForks    atomic.Int64
 	warmRestores atomic.Int64
+	sims         atomic.Int64
 
 	obsMu sync.Mutex
 	rings map[string]*obs.Ring // "app@machine" -> retained frames
@@ -196,7 +221,7 @@ func (s *Suite) RunContext(ctx context.Context, app workloads.Workload, arch con
 		s.cache[k] = fl
 		s.mu.Unlock()
 
-		fl.res, fl.err = s.runOwned(ctx, app, m)
+		fl.res, fl.err = s.runShared(ctx, app, arch, highEnd, m)
 		if fl.err != nil && canceled(fl.err) {
 			s.mu.Lock()
 			delete(s.cache, k)
@@ -205,6 +230,23 @@ func (s *Suite) RunContext(ctx context.Context, app workloads.Workload, arch con
 		close(fl.done)
 		return fl.res, fl.err
 	}
+}
+
+// runShared is the owner half of RunContext's singleflight: it gives
+// the Remote hook first claim on the run — ahead of the semaphore, so
+// remote-served runs never hold a local simulation slot — and falls
+// back to the local path when the hook declines.
+func (s *Suite) runShared(ctx context.Context, app workloads.Workload, arch config.Arch, highEnd bool, m config.Machine) (*core.Result, error) {
+	if s.Remote != nil {
+		res, handled, err := s.Remote(ctx, app.Name, arch, highEnd)
+		if handled {
+			if err != nil {
+				return nil, fmt.Errorf("harness: %s on %s: %w", app.Name, m.Name, err)
+			}
+			return res, nil
+		}
+	}
+	return s.runOwned(ctx, app, m)
 }
 
 // runOwned acquires a semaphore slot and simulates; it is the owner
@@ -261,6 +303,7 @@ func (s *Suite) simulate(ctx context.Context, app workloads.Workload, m config.M
 			s.obsMu.Unlock()
 		}
 	}
+	s.sims.Add(1)
 	r, err := sim.Run()
 	if err != nil {
 		if errors.Is(err, core.ErrInterrupted) && ctx.Err() != nil {
@@ -273,6 +316,13 @@ func (s *Suite) simulate(ctx context.Context, app workloads.Workload, m config.M
 	}
 	return r, nil
 }
+
+// Simulations returns how many simulations this suite actually ran on
+// this host (scratch runs and forked-child runs both count; cache
+// hits, singleflight shares, and remote-served runs do not). It is the
+// counter the fabric's federated-cache tests and /healthz use to prove
+// "zero simulations ran" on a fully cached resubmission.
+func (s *Suite) Simulations() int64 { return s.sims.Load() }
 
 // Metrics returns the retained frame ring for the given simulated run
 // ("app@machine", as listed by MetricsRuns), or nil. Note that cached

@@ -1,0 +1,134 @@
+package harness
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"clustersmt/internal/config"
+	"clustersmt/internal/core"
+	"clustersmt/internal/workloads"
+)
+
+// TestRemoteHookServesAndCaches pins the Remote hook contract: a
+// handled lookup becomes the run's cached outcome (one hook call per
+// physical config, even across aliased archs and concurrent callers),
+// a declined lookup falls back to local simulation, and a handled
+// error is cached like a local failure.
+func TestRemoteHookServesAndCaches(t *testing.T) {
+	ocean, err := workloads.ByName("ocean")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Reference: what a local run produces.
+	ref, err := NewSuite(workloads.SizeTest).Run(ocean, config.SMT2, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var calls atomic.Int64
+	canned := &core.Result{Cycles: 12345}
+	s := NewSuite(workloads.SizeTest)
+	s.Remote = func(ctx context.Context, app string, arch config.Arch, highEnd bool) (*core.Result, bool, error) {
+		calls.Add(1)
+		if app != ocean.Name || highEnd {
+			t.Errorf("hook saw (%s, highEnd=%v), want (%s, false)", app, highEnd, ocean.Name)
+		}
+		return canned, true, nil
+	}
+
+	const n = 8
+	var wg sync.WaitGroup
+	results := make([]*core.Result, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			arch := config.FA8
+			if i%2 == 1 {
+				arch = config.SMT8 // aliases FA8's physical config
+			}
+			r, err := s.Run(ocean, arch, false)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[i] = r
+		}(i)
+	}
+	wg.Wait()
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("remote hook called %d times for one physical config, want 1 (singleflight + aliasing)", got)
+	}
+	for i, r := range results {
+		if r != canned {
+			t.Fatalf("caller %d got %+v, want the remote-served result", i, r)
+		}
+	}
+	if s.Simulations() != 0 {
+		t.Fatalf("%d local simulations ran despite the remote serving everything", s.Simulations())
+	}
+
+	// Declined hook → local fallback, bit-identical to a plain run.
+	declined := NewSuite(workloads.SizeTest)
+	declined.Remote = func(ctx context.Context, app string, arch config.Arch, highEnd bool) (*core.Result, bool, error) {
+		return nil, false, nil
+	}
+	local, err := declined.Run(ocean, config.SMT2, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if local.Cycles != ref.Cycles || local.IPC != ref.IPC {
+		t.Fatalf("declined-hook fallback differs from a plain run: %d cycles vs %d", local.Cycles, ref.Cycles)
+	}
+	if declined.Simulations() != 1 {
+		t.Fatalf("fallback ran %d simulations, want 1", declined.Simulations())
+	}
+
+	// Handled error → cached failure: second call must not re-invoke.
+	var failCalls atomic.Int64
+	failing := NewSuite(workloads.SizeTest)
+	remoteErr := errors.New("fleet exploded")
+	failing.Remote = func(ctx context.Context, app string, arch config.Arch, highEnd bool) (*core.Result, bool, error) {
+		failCalls.Add(1)
+		return nil, true, remoteErr
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := failing.Run(ocean, config.SMT2, false); !errors.Is(err, remoteErr) {
+			t.Fatalf("call %d: error %v, want wrapped remote error", i, err)
+		}
+	}
+	if failCalls.Load() != 1 {
+		t.Fatalf("failing hook called %d times, want 1 (errors cache like results)", failCalls.Load())
+	}
+}
+
+// TestRemoteHookCancellation pins that a hook surfacing ctx.Err()
+// follows the cancel-retry path: the canceled owner's entry is removed,
+// and the next caller re-runs rather than inheriting the cancellation.
+func TestRemoteHookCancellation(t *testing.T) {
+	ocean, err := workloads.ByName("ocean")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSuite(workloads.SizeTest)
+	handle := false
+	s.Remote = func(ctx context.Context, app string, arch config.Arch, highEnd bool) (*core.Result, bool, error) {
+		if handle {
+			return nil, false, nil // second pass: simulate locally
+		}
+		return nil, true, ctx.Err()
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := s.RunContext(ctx, ocean, config.SMT2, false); !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled dispatch returned %v, want context.Canceled", err)
+	}
+	handle = true
+	if _, err := s.Run(ocean, config.SMT2, false); err != nil {
+		t.Fatalf("post-cancel retry failed: %v (cancellation must not be cached)", err)
+	}
+}

@@ -7,12 +7,15 @@ import (
 	"net/http"
 	"runtime"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"clustersmt/internal/config"
 	"clustersmt/internal/core"
 	"clustersmt/internal/harness"
+	"clustersmt/internal/version"
 	"clustersmt/internal/workloads"
 )
 
@@ -50,6 +53,36 @@ type Options struct {
 	MetricsInterval int64
 	// MetricsRingCap bounds retained frames per run (0 = obs default).
 	MetricsRingCap int
+	// Coordinator runs this daemon as the fabric front end: workers
+	// register over /fabric/register, jobs and figure cells route to
+	// the consistent-hash owner of their content hash, and Workers
+	// defaults to QueueCap (dispatch is IO-bound — a dispatching job
+	// holds an HTTP long-poll, not a CPU).
+	Coordinator bool
+	// HeartbeatInterval paces worker announcements (0 = default 5s);
+	// HeartbeatTimeout is how stale a worker's last heartbeat may be
+	// before the coordinator evicts it (0 = 3 intervals).
+	HeartbeatInterval time.Duration
+	HeartbeatTimeout  time.Duration
+	// Version overrides the build version exchanged (and checked) at
+	// registration ("" = the binary's build info).
+	Version string
+}
+
+// heartbeatInterval resolves the announcement period.
+func (o Options) heartbeatInterval() time.Duration {
+	if o.HeartbeatInterval > 0 {
+		return o.HeartbeatInterval
+	}
+	return DefaultHeartbeatInterval
+}
+
+// heartbeatTimeout resolves the eviction bound.
+func (o Options) heartbeatTimeout() time.Duration {
+	if o.HeartbeatTimeout > 0 {
+		return o.HeartbeatTimeout
+	}
+	return 3 * o.heartbeatInterval()
 }
 
 // Server is the serving subsystem: job queue + worker pool + two-tier
@@ -68,6 +101,20 @@ type Server struct {
 	order  []string
 	seq    atomic.Uint64
 
+	// Fabric role state: at most one of coord/worker is non-nil. coord
+	// is fixed at New; worker is installed by JoinFabric after the
+	// listener is bound (the advertise URL needs the port).
+	fabMu  sync.Mutex
+	coord  *coordinator
+	worker *worker
+
+	version string
+
+	probeServedHits   atomic.Uint64
+	probeServedMisses atomic.Uint64
+	snapServedHits    atomic.Uint64
+	snapServedMisses  atomic.Uint64
+
 	started time.Time
 	closed  atomic.Bool
 }
@@ -82,16 +129,72 @@ func New(opts Options) (*Server, error) {
 	workers := opts.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
+		if opts.Coordinator {
+			// A coordinator's "workers" mostly wait on worker HTTP
+			// long-polls; sizing them to the queue lets the whole
+			// admitted backlog dispatch concurrently. Local-fallback
+			// simulations (empty fleet) stay CPU-bounded regardless by
+			// the suite's own GOMAXPROCS semaphore.
+			workers = opts.QueueCap
+			if workers <= 0 {
+				workers = DefaultQueueCap
+			}
+		}
 	}
 	s := &Server{
 		opts:    opts,
 		cache:   cache,
 		suites:  make(map[workloads.Size]*harness.Suite),
 		jobs:    make(map[string]*Job),
+		version: opts.Version,
 		started: time.Now(),
 	}
+	if s.version == "" {
+		s.version = version.String()
+	}
 	s.pool = NewPool(workers, opts.QueueCap, s.runJob)
+	if opts.Coordinator {
+		s.coord = newCoordinator(s, opts.heartbeatTimeout())
+	}
 	return s, nil
+}
+
+// coordinator returns the coordinator role state (nil outside
+// coordinator mode).
+func (s *Server) coordinator() *coordinator {
+	s.fabMu.Lock()
+	defer s.fabMu.Unlock()
+	return s.coord
+}
+
+// workerRef returns the worker role state (nil until JoinFabric).
+func (s *Server) workerRef() *worker {
+	s.fabMu.Lock()
+	defer s.fabMu.Unlock()
+	return s.worker
+}
+
+// JoinFabric registers this server with a coordinator and starts the
+// heartbeat loop. advertiseURL is the base URL peers and the
+// coordinator reach this server at — it must resolve to the listener
+// serving Handler(). Call after the listener is bound; Close stops the
+// heartbeats.
+func (s *Server) JoinFabric(coordinatorURL, advertiseURL string) error {
+	if coordinatorURL == "" || advertiseURL == "" {
+		return fmt.Errorf("service: JoinFabric needs both coordinator and advertise URLs")
+	}
+	s.fabMu.Lock()
+	defer s.fabMu.Unlock()
+	if s.coord != nil {
+		return fmt.Errorf("service: a coordinator cannot join another fabric")
+	}
+	if s.worker != nil {
+		return fmt.Errorf("service: already joined %s", s.worker.coord)
+	}
+	w := newWorker(s, strings.TrimRight(coordinatorURL, "/"), strings.TrimRight(advertiseURL, "/"), s.opts.heartbeatInterval())
+	s.worker = w
+	go w.loop()
+	return nil
 }
 
 // suite returns (creating on first use) the harness suite for size.
@@ -109,15 +212,46 @@ func (s *Server) suite(size workloads.Size) *harness.Suite {
 		st.MetricsInterval = s.opts.MetricsInterval
 		st.MetricsRingCap = s.opts.MetricsRingCap
 		st.WarmupCycles = s.opts.WarmupCycles
-		if s.opts.WarmupCycles > 0 && s.opts.CacheDir != "" {
-			st.Snapshots = snapshotStore{dir: s.opts.CacheDir}
+		if s.opts.WarmupCycles > 0 {
+			// The federated store layers local persistence (when
+			// CacheDir is set) under on-demand fetches from fabric
+			// peers; with neither it is an always-miss no-op.
+			st.Snapshots = fedSnapshots{s: s}
 		}
+		st.Remote = s.suiteRemote(size)
 		// The pool already bounds admission; let the suite run whatever
 		// the workers hand it (figure endpoints share the same suite and
 		// add their own demand, still bounded by GOMAXPROCS inside).
 		s.suites[size] = st
 	}
 	return st
+}
+
+// suiteRemote builds the fabric Remote hook for one suite. The role is
+// resolved at call time (JoinFabric may run after the suite exists):
+// a coordinator dispatches the run to the ring owner of its content
+// hash; a worker probes its peers for an already-computed result; a
+// single node declines so the harness simulates locally. The hook runs
+// on the singleflight owner ahead of the semaphore, so dispatches and
+// probes cost no local CPU slots.
+func (s *Server) suiteRemote(size workloads.Size) harness.RemoteFunc {
+	return func(ctx context.Context, app string, arch config.Arch, highEnd bool) (*core.Result, bool, error) {
+		c, wk := s.coordinator(), s.workerRef()
+		if c == nil && wk == nil {
+			return nil, false, nil
+		}
+		spec := JobSpec{App: app, Arch: arch.Name, HighEnd: highEnd, Size: size.String()}
+		rj, err := spec.Resolve(size)
+		if err != nil {
+			// Unresolvable names cannot be routed; let the local
+			// harness produce the authoritative error.
+			return nil, false, nil
+		}
+		if c != nil {
+			return c.dispatch(ctx, rj.Spec, rj.Hash())
+		}
+		return wk.probePeers(ctx, rj.Spec, rj)
+	}
 }
 
 // runJob executes one admitted job: cache check (a concurrent earlier
@@ -147,6 +281,12 @@ func (s *Server) Close(ctx context.Context) error {
 	if s.closed.Swap(true) {
 		return nil
 	}
+	if wk := s.workerRef(); wk != nil {
+		wk.close() // stop heartbeating before draining, so eviction is prompt
+	}
+	if c := s.coordinator(); c != nil {
+		c.close()
+	}
 	s.pool.Drain(ctx)
 	return s.cache.Close()
 }
@@ -159,7 +299,11 @@ func (s *Server) Close(ctx context.Context) error {
 //	GET  /v1/figures/{n}     paper figure 4/5/7/8 (?size=, ?format=text)
 //	GET  /v1/metrics         list runs with retained interval metrics
 //	GET  /v1/metrics/{run}   one run's frames (?format=csv|json)
-//	GET  /healthz            liveness + queue/cache stats
+//	GET  /healthz            liveness + queue/cache/fabric stats
+//	GET  /fabric/probe/{h}   peer cache probe: cached result for spec hash h
+//	GET  /fabric/snap/{k}    peer checkpoint ship: warmed snapshot k
+//	POST /fabric/register    (coordinator) worker registration
+//	POST /fabric/heartbeat   (coordinator) worker heartbeat + load report
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
@@ -169,6 +313,14 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/metrics", s.handleListMetrics)
 	mux.HandleFunc("GET /v1/metrics/{run...}", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
+	// Fabric peer endpoints are served by every role: any node may be
+	// probed for a cached result or a warmed checkpoint.
+	mux.HandleFunc("GET /fabric/probe/{hash}", s.handleFabricProbe)
+	mux.HandleFunc("GET /fabric/snap/{key}", s.handleFabricSnap)
+	if s.coord != nil {
+		mux.HandleFunc("POST /fabric/register", s.handleFabricRegister)
+		mux.HandleFunc("POST /fabric/heartbeat", s.handleFabricHeartbeat)
+	}
 	return mux
 }
 
@@ -252,8 +404,18 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 // partly filled worker wave is still a full wave of waiting) and
 // guards a zero worker count: NewPool clamps workers to one, but a
 // 429 path must never be able to panic on arithmetic.
+//
+// In coordinator mode the divisor is the fleet's registered capacity
+// (sum of member worker counts) when any workers are registered — the
+// backlog drains at the fleet's rate, not the local pool's. An empty
+// fleet falls back to the local estimate, same floor and cap.
 func (s *Server) retryAfter() int {
 	w := s.pool.Workers()
+	if c := s.coordinator(); c != nil {
+		if fw := c.fleetWorkers(); fw > 0 {
+			w = fw
+		}
+	}
 	if w < 1 {
 		w = 1
 	}
@@ -395,14 +557,29 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	accepted, rejected, completed := s.pool.Counters()
-	var warmForks, warmRestores int64
+	var warmForks, warmRestores, simulations int64
 	s.suiteMu.Lock()
 	for _, st := range s.suites {
 		f, r := st.WarmForks()
 		warmForks += f
 		warmRestores += r
+		simulations += st.Simulations()
 	}
 	s.suiteMu.Unlock()
+	fab := map[string]any{"role": "single"}
+	if c := s.coordinator(); c != nil {
+		fab = c.health()
+	} else if wk := s.workerRef(); wk != nil {
+		fab = wk.health()
+	}
+	fab["probe_served"] = map[string]uint64{
+		"hits":   s.probeServedHits.Load(),
+		"misses": s.probeServedMisses.Load(),
+	}
+	fab["snap_served"] = map[string]uint64{
+		"hits":   s.snapServedHits.Load(),
+		"misses": s.snapServedMisses.Load(),
+	}
 	warm := map[string]any{
 		"enabled":  s.opts.WarmupCycles > 0,
 		"cycles":   s.opts.WarmupCycles,
@@ -414,7 +591,10 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":         "ok",
+		"version":        s.version,
 		"uptime_seconds": int64(time.Since(s.started).Seconds()),
+		"simulations":    simulations,
+		"fabric":         fab,
 		"queue": map[string]any{
 			"depth":     s.pool.Depth(),
 			"capacity":  s.pool.Cap(),

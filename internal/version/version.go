@@ -1,0 +1,51 @@
+// Package version carries the build identity every binary and fabric
+// node reports. Release builds stamp it via
+//
+//	go build -ldflags "-X clustersmt/internal/version.Version=v1.2.3"
+//
+// and unstamped builds fall back to "dev" plus whatever VCS metadata
+// the toolchain embedded. The fabric exchanges String() at worker
+// registration so fleet deployments can assert coordinator and workers
+// run the same build — a mismatch is logged on both ends rather than
+// rejected (results are content-addressed and versioned, so a skewed
+// fleet degrades to cache misses, never to wrong bytes).
+package version
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+)
+
+// Version is the ldflags-stamped release identifier ("dev" when the
+// build was not stamped).
+var Version = "dev"
+
+// String returns the full build identity: version, VCS revision when
+// embedded (abbreviated, "+dirty" for modified trees), and the Go
+// toolchain.
+func String() string {
+	rev := ""
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		var commit string
+		dirty := false
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				commit = s.Value
+			case "vcs.modified":
+				dirty = s.Value == "true"
+			}
+		}
+		if commit != "" {
+			if len(commit) > 12 {
+				commit = commit[:12]
+			}
+			rev = " " + commit
+			if dirty {
+				rev += "+dirty"
+			}
+		}
+	}
+	return fmt.Sprintf("clustersmt %s%s %s", Version, rev, runtime.Version())
+}
