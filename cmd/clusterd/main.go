@@ -6,7 +6,11 @@
 //	GET  /v1/jobs/{id}       status/result (?wait=10s long-polls)
 //	GET  /v1/figures/{4578}  paper-figure matrices (?size=, ?format=text)
 //	GET  /v1/metrics/{run}   interval metrics for a simulated run (CSV/JSON)
+//	GET  /v1/trace/{id}      one job's fleet-wide span timeline (Chrome trace JSON)
+//	GET  /metrics            OpenMetrics scrape (latencies, queue, cache, fleet)
 //	GET  /healthz            liveness + queue/cache statistics
+//	GET  /debug/pprof/...    profiling endpoints (with -pprof)
+//	GET  /debug/vars         expvar JSON (with -pprof)
 //
 // Identical submissions are content-addressed (SHA-256 of the resolved
 // machine + workload spec) and served from cache in microseconds; with
@@ -27,7 +31,8 @@
 //	clusterd [-addr :8421] [-size ref] [-workers N] [-parallel] [-queue N]
 //	         [-cache-dir DIR] [-cache-entries N] [-max-cycles N]
 //	         [-warmup-cycles N] [-metrics-interval N] [-port-file PATH]
-//	         [-drain-timeout 30s]
+//	         [-drain-timeout 30s] [-telemetry=false] [-span-ring N]
+//	         [-node-name NAME] [-pprof]
 //	         [-coordinator | -join URL [-advertise URL]]
 //	         [-heartbeat 5s] [-heartbeat-timeout 15s]
 package main
@@ -35,11 +40,14 @@ package main
 import (
 	"context"
 	"errors"
+	"expvar"
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -54,6 +62,9 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("clusterd: ")
+	// Service-internal logging is structured (log/slog with trace IDs
+	// where available); plain log calls in this file keep the prefix.
+	slog.SetDefault(slog.New(slog.NewTextHandler(os.Stderr, nil)))
 
 	addr := flag.String("addr", ":8421", "listen address (host:port; port 0 picks a free port)")
 	sizeName := flag.String("size", "ref", "default input size for jobs and figures: test or ref")
@@ -68,6 +79,10 @@ func main() {
 	metricsRing := flag.Int("metrics-ring", 0, "retained metrics frames per run (0 = default)")
 	portFile := flag.String("port-file", "", "write the bound port to this file once listening")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "max time to drain running jobs at shutdown")
+	telemetry := flag.Bool("telemetry", true, "serve OpenMetrics at /metrics and job traces at /v1/trace/{id}")
+	spanRing := flag.Int("span-ring", 0, "retained trace spans (0 = default)")
+	nodeName := flag.String("node-name", "", "node identity on trace timelines (default: by fabric role)")
+	pprofFlag := flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof and expvar at /debug/vars")
 	coordinator := flag.Bool("coordinator", false, "run as the fabric coordinator: accept worker registrations and route jobs by content hash")
 	joinURL := flag.String("join", "", "join the fabric coordinated at this URL (worker mode)")
 	advertiseURL := flag.String("advertise", "", "base URL peers reach this worker at (default: http://127.0.0.1:<bound port>)")
@@ -104,6 +119,10 @@ func main() {
 		MetricsInterval: *metricsInterval,
 		MetricsRingCap:  *metricsRing,
 
+		DisableTelemetry: !*telemetry,
+		SpanRingCap:      *spanRing,
+		NodeName:         *nodeName,
+
 		Coordinator:       *coordinator,
 		HeartbeatInterval: *heartbeat,
 		HeartbeatTimeout:  *heartbeatTimeout,
@@ -130,7 +149,23 @@ func main() {
 	}
 	log.Printf("listening on %s (default size %s, queue %d, role %s)", ln.Addr(), size, *queueCap, role)
 
-	httpSrv := &http.Server{Handler: svc.Handler()}
+	handler := svc.Handler()
+	if *pprofFlag {
+		// Debug endpoints ride an outer mux so the service API stays
+		// unaware of them; gated behind the flag because profiling
+		// handlers on an exposed daemon are an operational decision.
+		outer := http.NewServeMux()
+		outer.Handle("/", handler)
+		outer.HandleFunc("/debug/pprof/", pprof.Index)
+		outer.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		outer.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		outer.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		outer.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		outer.Handle("/debug/vars", expvar.Handler())
+		handler = outer
+		log.Printf("pprof enabled at /debug/pprof (expvar at /debug/vars)")
+	}
+	httpSrv := &http.Server{Handler: handler}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- httpSrv.Serve(ln) }()
 

@@ -20,6 +20,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"clustersmt/internal/config"
 	"clustersmt/internal/core"
@@ -120,6 +121,15 @@ type Suite struct {
 	// (the serving subsystem backs this with its cache directory). Only
 	// consulted when WarmupCycles > 0. Set before the first Run.
 	Snapshots SnapshotStore
+
+	// OnSimulate, when set, is called after every simulation this suite
+	// actually executes (singleflight owners only — cache hits, shares
+	// and remote-served runs never fire it) with the run's identity,
+	// wall-clock duration, and outcome. ctx is the owning caller's
+	// context — the serving layer reads its trace ID to attribute the
+	// simulate span. Must be safe for concurrent use and read-only with
+	// respect to results. Set before the first Run.
+	OnSimulate func(ctx context.Context, app, machine string, highEnd bool, d time.Duration, err error)
 
 	mu    sync.Mutex
 	cache map[runKey]*inflight
@@ -304,7 +314,11 @@ func (s *Suite) simulate(ctx context.Context, app workloads.Workload, m config.M
 		}
 	}
 	s.sims.Add(1)
+	t0 := time.Now()
 	r, err := sim.Run()
+	if s.OnSimulate != nil {
+		s.OnSimulate(ctx, app.Name, m.Name, m.Chips > 1, time.Since(t0), err)
+	}
 	if err != nil {
 		if errors.Is(err, core.ErrInterrupted) && ctx.Err() != nil {
 			// Surface the caller's cancellation (errors.Is-compatible

@@ -17,8 +17,10 @@ import (
 // concurrent simulation goroutines. Load misses and failed saves are
 // soft: the suite falls back to running the warm-up itself, so a store
 // may drop writes (disk full, eviction) without affecting results.
+// Load receives the warming run's context — federated stores use it
+// for cancellation and to attribute the fetch to the run's trace.
 type SnapshotStore interface {
-	LoadSnapshot(key string) ([]byte, bool)
+	LoadSnapshot(ctx context.Context, key string) ([]byte, bool)
 	SaveSnapshot(key string, data []byte)
 }
 
@@ -131,7 +133,7 @@ func (s *Suite) warmStart(ctx context.Context, m config.Machine, p *prog.Program
 func (s *Suite) warmParent(ctx context.Context, m config.Machine, p *prog.Program, w int64, k warmKey) *core.Simulator {
 	key := s.snapshotKey(k, w)
 	if s.Snapshots != nil {
-		if data, ok := s.Snapshots.LoadSnapshot(key); ok {
+		if data, ok := s.Snapshots.LoadSnapshot(ctx, key); ok {
 			if sim, err := core.Restore(m, p, data); err == nil && sim.PrefixValid() {
 				s.warmRestores.Add(1)
 				return sim

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"reflect"
 	"sync"
 	"testing"
@@ -80,7 +81,7 @@ type memStore struct {
 
 func newMemStore() *memStore { return &memStore{m: make(map[string][]byte)} }
 
-func (s *memStore) LoadSnapshot(key string) ([]byte, bool) {
+func (s *memStore) LoadSnapshot(_ context.Context, key string) ([]byte, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.loads++

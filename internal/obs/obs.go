@@ -191,9 +191,16 @@ func (r *Ring) Frames() []Frame {
 	return out
 }
 
-// WriteCSV writes the retained frames as CSV: CSVHeader then one row
-// per frame, oldest first.
+// WriteCSV writes the retained frames as CSV: a `#` comment line with
+// the retention accounting (so silent frame drops are visible in sweep
+// output without parsing every row), then CSVHeader and one row per
+// frame, oldest first. CSV consumers should skip `#` lines
+// (encoding/csv: Reader.Comment = '#').
 func (r *Ring) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "# pushed=%d retained=%d dropped=%d\n",
+		r.Pushed(), r.Len(), r.Dropped()); err != nil {
+		return err
+	}
 	if _, err := io.WriteString(w, CSVHeader()+"\n"); err != nil {
 		return err
 	}
@@ -206,10 +213,14 @@ func (r *Ring) WriteCSV(w io.Writer) error {
 	return nil
 }
 
-// ringJSON is the WriteJSON document shape.
+// ringJSON is the WriteJSON document shape. Pushed/Retained/Dropped
+// expose the ring's retention accounting so a consumer can tell a
+// complete export from a truncated one at a glance.
 type ringJSON struct {
-	Dropped int     `json:"dropped_frames"`
-	Frames  []Frame `json:"frames"`
+	Pushed   int     `json:"pushed_frames"`
+	Retained int     `json:"retained_frames"`
+	Dropped  int     `json:"dropped_frames"`
+	Frames   []Frame `json:"frames"`
 }
 
 // WriteJSON writes the retained frames (with per-cluster breakdowns)
@@ -217,5 +228,10 @@ type ringJSON struct {
 func (r *Ring) WriteJSON(w io.Writer) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	return enc.Encode(ringJSON{Dropped: r.Dropped(), Frames: r.Frames()})
+	return enc.Encode(ringJSON{
+		Pushed:   r.Pushed(),
+		Retained: r.Len(),
+		Dropped:  r.Dropped(),
+		Frames:   r.Frames(),
+	})
 }

@@ -71,7 +71,13 @@ func TestCSVSchema(t *testing.T) {
 	if err := r.WriteCSV(&buf); err != nil {
 		t.Fatal(err)
 	}
-	recs, err := csv.NewReader(&buf).ReadAll()
+	// The first line is the retention-accounting comment.
+	if !strings.HasPrefix(buf.String(), "# pushed=5 retained=5 dropped=0\n") {
+		t.Fatalf("missing retention comment, got %q", strings.SplitN(buf.String(), "\n", 2)[0])
+	}
+	rd := csv.NewReader(&buf)
+	rd.Comment = '#'
+	recs, err := rd.ReadAll()
 	if err != nil {
 		t.Fatalf("output is not parseable CSV: %v", err)
 	}
@@ -106,14 +112,19 @@ func TestJSONRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	var doc struct {
-		Dropped int     `json:"dropped_frames"`
-		Frames  []Frame `json:"frames"`
+		Pushed   int     `json:"pushed_frames"`
+		Retained int     `json:"retained_frames"`
+		Dropped  int     `json:"dropped_frames"`
+		Frames   []Frame `json:"frames"`
 	}
 	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
 		t.Fatalf("output is not parseable JSON: %v", err)
 	}
 	if doc.Dropped != 3 || len(doc.Frames) != 2 {
 		t.Fatalf("dropped=%d frames=%d, want 3/2", doc.Dropped, len(doc.Frames))
+	}
+	if doc.Pushed != 5 || doc.Retained != 2 {
+		t.Fatalf("pushed=%d retained=%d, want 5/2", doc.Pushed, doc.Retained)
 	}
 	if doc.Frames[0].Index != 3 || doc.Frames[0].Clusters[0].Cluster != 3 {
 		t.Errorf("oldest retained frame = %+v, want index 3", doc.Frames[0])

@@ -93,7 +93,18 @@ type Builder struct {
 	init    map[int64]uint64
 	pool    map[uint64]int64 // constant pool: bits -> address
 	prefix  int              // PrefixLen of the built program (0 = none)
+	seq     int              // unique-label counter (see Seq)
 	errs    []error
+}
+
+// Seq returns a fresh per-builder sequence number for generated label
+// names. Per-builder (not package-global) so concurrent builds — e.g.
+// two daemons in one test process simulating different apps at once —
+// never share state: label names depend only on this program's own
+// emission order.
+func (b *Builder) Seq() int {
+	b.seq++
+	return b.seq
 }
 
 // NewBuilder returns an empty Builder for a program with the given name.
@@ -415,15 +426,13 @@ func (b *Builder) Halt() { b.emit(isa.Instr{Op: isa.OpHalt}) }
 
 // --- structured helpers ---
 
-var loopSeq int
-
 // CountedLoop emits `for ; idx < bound; idx++ { body }`, with idx and
 // bound live registers. The loop test is at the bottom (one conditional
 // branch per iteration); a top guard skips empty loops.
 func (b *Builder) CountedLoop(idx, bound isa.Reg, body func()) {
-	loopSeq++
-	top := fmt.Sprintf(".L%d_top", loopSeq)
-	done := fmt.Sprintf(".L%d_done", loopSeq)
+	n := b.Seq()
+	top := fmt.Sprintf(".L%d_top", n)
+	done := fmt.Sprintf(".L%d_done", n)
 	b.Bge(idx, bound, done)
 	b.Label(top)
 	body()
@@ -434,9 +443,9 @@ func (b *Builder) CountedLoop(idx, bound isa.Reg, body func()) {
 
 // SteppedLoop is CountedLoop with a stride other than 1.
 func (b *Builder) SteppedLoop(idx, bound isa.Reg, step int64, body func()) {
-	loopSeq++
-	top := fmt.Sprintf(".L%d_top", loopSeq)
-	done := fmt.Sprintf(".L%d_done", loopSeq)
+	n := b.Seq()
+	top := fmt.Sprintf(".L%d_top", n)
+	done := fmt.Sprintf(".L%d_done", n)
 	b.Bge(idx, bound, done)
 	b.Label(top)
 	body()
@@ -448,8 +457,7 @@ func (b *Builder) SteppedLoop(idx, bound isa.Reg, step int64, body func()) {
 // IfThread0 emits body only for thread 0 (all other threads branch
 // around it). Used for serial sections.
 func (b *Builder) IfThread0(body func()) {
-	loopSeq++
-	skip := fmt.Sprintf(".L%d_skip", loopSeq)
+	skip := fmt.Sprintf(".L%d_skip", b.Seq())
 	b.Bne(isa.RegTID, isa.RegZero, skip)
 	body()
 	b.Label(skip)

@@ -6,7 +6,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"net/http"
 	"sort"
 	"strconv"
@@ -16,6 +16,7 @@ import (
 
 	"clustersmt/internal/config"
 	"clustersmt/internal/core"
+	"clustersmt/internal/telemetry"
 )
 
 // member is one registered worker as the coordinator sees it.
@@ -116,9 +117,11 @@ func (c *coordinator) upsert(req registerRequest, admit bool) (peers []string, k
 		m = &member{URL: req.URL}
 		c.members[req.URL] = m
 		c.ring.Add(req.URL)
-		log.Printf("service: fabric: worker %s joined (version %q, %d workers)", req.URL, req.Version, req.Workers)
+		slog.Info("fabric: worker joined",
+			"worker", req.URL, "version", req.Version, "workers", req.Workers)
 		if req.Version != c.s.version {
-			log.Printf("service: fabric: version mismatch: worker %s runs %q, coordinator runs %q", req.URL, req.Version, c.s.version)
+			slog.Warn("fabric: version mismatch",
+				"worker", req.URL, "worker_version", req.Version, "coordinator_version", c.s.version)
 		}
 	}
 	m.Version = req.Version
@@ -148,7 +151,8 @@ func (c *coordinator) removeLocked(url, reason string) {
 	delete(c.members, url)
 	c.ring.Remove(url)
 	c.evicted.Add(1)
-	log.Printf("service: fabric: evicted worker %s (%s); %d remain", url, reason, len(c.members))
+	slog.Warn("fabric: evicted worker",
+		"worker", url, "reason", reason, "remaining", len(c.members))
 }
 
 func (c *coordinator) evict(url, reason string) {
@@ -236,7 +240,15 @@ func (c *coordinator) dispatch(ctx context.Context, spec JobSpec, hash [32]byte)
 			c.fallbacks.Add(1)
 			return nil, false, nil
 		}
+		attempt := time.Now()
 		res, verdict, err := c.tryWorker(ctx, owner, spec)
+		observe(c.s.hist(func(t *svcTelemetry) *telemetry.Histogram { return t.dispatch }), time.Since(attempt))
+		outcome := "done"
+		if verdict == dispatchRetry {
+			outcome = "retry"
+		}
+		c.s.span(telemetry.TraceIDFrom(ctx), "dispatch", attempt,
+			map[string]string{"worker": owner, "outcome": outcome})
 		if verdict == dispatchDone {
 			if err == nil {
 				c.dispatched.Add(1)
@@ -258,6 +270,8 @@ func (c *coordinator) tryWorker(ctx context.Context, owner string, spec JobSpec)
 		if ctx.Err() != nil {
 			return nil, dispatchDone, ctx.Err()
 		}
+		slog.Warn("fabric: dispatch transport error",
+			"worker", owner, "err", err, "trace_id", telemetry.TraceIDFrom(ctx))
 		c.evict(owner, fmt.Sprintf("unreachable: %v", err))
 		return nil, dispatchRetry, nil
 	case status == http.StatusTooManyRequests:
@@ -324,6 +338,11 @@ func (c *coordinator) postJob(ctx context.Context, owner string, spec JobSpec) (
 		return remoteView{}, 0, err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	// The trace ID crosses the dispatch hop in the same header clients
+	// use, so the worker's spans land on the coordinator's timeline.
+	if id := telemetry.TraceIDFrom(ctx); id != "" {
+		req.Header.Set(telemetry.TraceIDHeader, id)
+	}
 	resp, err := fabricHTTP.Do(req)
 	if err != nil {
 		return remoteView{}, 0, err

@@ -13,11 +13,14 @@
 package service
 
 import (
+	"context"
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"net/http"
 	"time"
+
+	"clustersmt/internal/telemetry"
 )
 
 // DefaultHeartbeatInterval paces worker heartbeats when Options leaves
@@ -150,10 +153,12 @@ type fedSnapshots struct {
 	s *Server
 }
 
-func (f fedSnapshots) LoadSnapshot(key string) ([]byte, bool) {
+func (f fedSnapshots) LoadSnapshot(ctx context.Context, key string) ([]byte, bool) {
+	start := time.Now()
 	dir := f.s.opts.CacheDir
 	if dir != "" {
 		if data, ok := (snapshotStore{dir: dir}).LoadSnapshot(key); ok {
+			f.observe(ctx, key, start, "local")
 			return data, true
 		}
 	}
@@ -162,16 +167,28 @@ func (f fedSnapshots) LoadSnapshot(key string) ([]byte, bool) {
 		return nil, false
 	}
 	for _, peer := range wk.peerList() {
-		data, ok := wk.fetchSnapshot(peer, key)
+		data, ok := wk.fetchSnapshot(ctx, peer, key)
 		if !ok {
 			continue
 		}
 		if dir != "" {
 			snapshotStore{dir: dir}.SaveSnapshot(key, data)
 		}
+		f.observe(ctx, key, start, peer)
 		return data, true
 	}
+	f.observe(ctx, key, start, "miss")
 	return nil, false
+}
+
+// observe records one federated load as a histogram sample and (when
+// the warm-up belongs to a traced job) a snapshot-fetch span naming
+// where the checkpoint came from.
+func (f fedSnapshots) observe(ctx context.Context, key string, start time.Time, source string) {
+	s := f.s
+	observe(s.hist(func(t *svcTelemetry) *telemetry.Histogram { return t.snapFetch }), time.Since(start))
+	s.span(telemetry.TraceIDFrom(ctx), "snapshot-fetch", start,
+		map[string]string{"key": key, "source": source})
 }
 
 func (f fedSnapshots) SaveSnapshot(key string, data []byte) {

@@ -25,6 +25,9 @@ type Job struct {
 	ID   string
 	Rj   *ResolvedJob
 	Hash [32]byte
+	// TraceID follows the job across nodes: set once at submission
+	// (before the job is visible to any worker), read-only after.
+	TraceID string
 
 	mu        sync.Mutex
 	state     string
@@ -53,6 +56,14 @@ func NewJob(id string, rj *ResolvedJob) *Job {
 
 // Done returns a channel closed when the job reaches a terminal state.
 func (j *Job) Done() <-chan struct{} { return j.done }
+
+// submittedAt returns the admission timestamp — the anchor for
+// queue-wait and end-to-end latency observations.
+func (j *Job) submittedAt() time.Time {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.submitted
+}
 
 func (j *Job) start() {
 	j.mu.Lock()

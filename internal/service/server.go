@@ -15,6 +15,7 @@ import (
 	"clustersmt/internal/config"
 	"clustersmt/internal/core"
 	"clustersmt/internal/harness"
+	"clustersmt/internal/telemetry"
 	"clustersmt/internal/version"
 	"clustersmt/internal/workloads"
 )
@@ -67,6 +68,16 @@ type Options struct {
 	// Version overrides the build version exchanged (and checked) at
 	// registration ("" = the binary's build info).
 	Version string
+	// DisableTelemetry turns off the metrics registry and span ring:
+	// /metrics and /v1/trace return 404 and every record call is a
+	// no-op. Simulation results are bit-identical either way
+	// (TestTelemetryDifferential).
+	DisableTelemetry bool
+	// NodeName overrides this node's identity on trace timelines
+	// ("" = coordinator / advertise URL / "clusterd" by role).
+	NodeName string
+	// SpanRingCap bounds retained trace spans (0 = telemetry default).
+	SpanRingCap int
 }
 
 // heartbeatInterval resolves the announcement period.
@@ -109,6 +120,10 @@ type Server struct {
 	worker *worker
 
 	version string
+
+	// tel is the telemetry state (registry + span ring); nil when
+	// Options.DisableTelemetry — every record path nil-guards.
+	tel *svcTelemetry
 
 	probeServedHits   atomic.Uint64
 	probeServedMisses atomic.Uint64
@@ -153,6 +168,9 @@ func New(opts Options) (*Server, error) {
 		s.version = version.String()
 	}
 	s.pool = NewPool(workers, opts.QueueCap, s.runJob)
+	if !opts.DisableTelemetry {
+		s.tel = newSvcTelemetry(s, opts.SpanRingCap)
+	}
 	if opts.Coordinator {
 		s.coord = newCoordinator(s, opts.heartbeatTimeout())
 	}
@@ -219,6 +237,19 @@ func (s *Server) suite(size workloads.Size) *harness.Suite {
 			st.Snapshots = fedSnapshots{s: s}
 		}
 		st.Remote = s.suiteRemote(size)
+		if s.tel != nil {
+			// Hook fires on singleflight owners only, so the histogram
+			// measures true local simulation time — never dispatch or
+			// probe round trips.
+			st.OnSimulate = func(ctx context.Context, app, machine string, highEnd bool, d time.Duration, err error) {
+				observe(s.tel.simulate, d)
+				attrs := map[string]string{"app": app, "machine": machine}
+				if err != nil {
+					attrs["error"] = err.Error()
+				}
+				s.span(telemetry.TraceIDFrom(ctx), "simulate", time.Now().Add(-d), attrs)
+			}
+		}
 		// The pool already bounds admission; let the suite run whatever
 		// the workers hand it (figure endpoints share the same suite and
 		// add their own demand, still bounded by GOMAXPROCS inside).
@@ -256,22 +287,41 @@ func (s *Server) suiteRemote(size workloads.Size) harness.RemoteFunc {
 
 // runJob executes one admitted job: cache check (a concurrent earlier
 // submission may have completed while this one sat in the queue), then
-// a context-aware suite run, then cache fill.
+// a context-aware suite run, then cache fill. Queue wait, cache-write
+// and end-to-end latency are observed here; the trace ID rides the
+// context into the suite so dispatch/probe/simulate spans attribute to
+// this job.
 func (s *Server) runJob(ctx context.Context, j *Job) {
+	wait := time.Since(j.submittedAt())
+	observe(s.hist(func(t *svcTelemetry) *telemetry.Histogram { return t.queueWait }), wait)
+	s.span(j.TraceID, "queue", j.submittedAt(), map[string]string{"job": j.ID})
+	ctx = telemetry.WithTraceID(ctx, j.TraceID)
+
 	if res, tier, ok := s.cache.Get(j.Hash); ok {
 		j.Complete(res, tier)
+		s.observeJobDone(j)
 		return
 	}
 	rj := j.Rj
 	res, err := s.suite(rj.Size).RunContext(ctx, rj.Workload, rj.Arch, rj.Spec.HighEnd)
 	if err != nil {
 		j.Fail(err)
+		s.observeJobDone(j)
 		return
 	}
 	// A failed disk write degrades this entry to memory-only; the
 	// result itself is still good, so the job completes regardless.
+	wstart := time.Now()
 	_ = s.cache.Put(j.Hash, rj.Spec, res)
+	observe(s.hist(func(t *svcTelemetry) *telemetry.Histogram { return t.cacheWrite }), time.Since(wstart))
+	s.span(j.TraceID, "cache-write", wstart, nil)
 	j.Complete(res, "")
+	s.observeJobDone(j)
+}
+
+// observeJobDone records a terminal job's end-to-end latency.
+func (s *Server) observeJobDone(j *Job) {
+	observe(s.hist(func(t *svcTelemetry) *telemetry.Histogram { return t.e2e }), time.Since(j.submittedAt()))
 }
 
 // Close drains the pool (bounded by ctx — expired deadlines cancel
@@ -299,6 +349,9 @@ func (s *Server) Close(ctx context.Context) error {
 //	GET  /v1/figures/{n}     paper figure 4/5/7/8 (?size=, ?format=text)
 //	GET  /v1/metrics         list runs with retained interval metrics
 //	GET  /v1/metrics/{run}   one run's frames (?format=csv|json)
+//	GET  /v1/trace/{id}      one job's fleet-wide span timeline
+//	                         (?scope=local, ?format=spans)
+//	GET  /metrics            OpenMetrics scrape (404 when disabled)
 //	GET  /healthz            liveness + queue/cache/fabric stats
 //	GET  /fabric/probe/{h}   peer cache probe: cached result for spec hash h
 //	GET  /fabric/snap/{k}    peer checkpoint ship: warmed snapshot k
@@ -312,6 +365,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/figures/{n}", s.handleFigure)
 	mux.HandleFunc("GET /v1/metrics", s.handleListMetrics)
 	mux.HandleFunc("GET /v1/metrics/{run...}", s.handleMetrics)
+	mux.HandleFunc("GET /v1/trace/{id}", s.handleTrace)
+	mux.HandleFunc("GET /metrics", s.handleMetricsScrape)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	// Fabric peer endpoints are served by every role: any node may be
 	// probed for a cached result or a warmed checkpoint.
@@ -329,6 +384,7 @@ type jobView struct {
 	ID        string       `json:"id"`
 	Spec      JobSpec      `json:"spec"`
 	Hash      string       `json:"hash"`
+	TraceID   string       `json:"trace_id,omitempty"`
 	Status    string       `json:"status"`
 	CacheHit  bool         `json:"cache_hit"`
 	CacheTier string       `json:"cache_tier,omitempty"`
@@ -343,6 +399,7 @@ func (j *Job) view() jobView {
 		ID:        j.ID,
 		Spec:      j.Rj.Spec,
 		Hash:      j.Rj.HashHex(),
+		TraceID:   j.TraceID,
 		Status:    j.state,
 		CacheHit:  j.cacheHit,
 		CacheTier: j.cacheTier,
@@ -364,6 +421,7 @@ func writeError(w http.ResponseWriter, status int, err error) {
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	arrived := time.Now()
 	var spec JobSpec
 	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("service: bad job spec: %w", err))
@@ -376,6 +434,8 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	j := NewJob(fmt.Sprintf("j%d", s.seq.Add(1)), rj)
 	j.ID = fmt.Sprintf("%s-%x", j.ID, j.Hash[:4])
+	j.TraceID = traceIDForRequest(r)
+	w.Header().Set(telemetry.TraceIDHeader, j.TraceID)
 
 	// Content-addressed fast path: an identical submission whose result
 	// is already cached is served immediately — it never occupies a
@@ -383,16 +443,20 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if res, tier, ok := s.cache.Get(j.Hash); ok {
 		j.Complete(res, tier)
 		s.rememberJob(j)
+		s.span(j.TraceID, "submit", arrived, map[string]string{"job": j.ID, "outcome": "cache-" + tier})
+		s.observeJobDone(j)
 		writeJSON(w, http.StatusOK, j.view())
 		return
 	}
 
 	if err := s.pool.Submit(j); err != nil {
 		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfter()))
+		s.span(j.TraceID, "submit", arrived, map[string]string{"job": j.ID, "outcome": "rejected"})
 		writeError(w, http.StatusTooManyRequests, err)
 		return
 	}
 	s.rememberJob(j)
+	s.span(j.TraceID, "submit", arrived, map[string]string{"job": j.ID, "outcome": "queued"})
 	w.Header().Set("Location", "/v1/jobs/"+j.ID)
 	writeJSON(w, http.StatusAccepted, j.view())
 }
@@ -557,13 +621,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	accepted, rejected, completed := s.pool.Counters()
-	var warmForks, warmRestores, simulations int64
+	var warmForks, warmRestores int64
 	s.suiteMu.Lock()
 	for _, st := range s.suites {
 		f, r := st.WarmForks()
 		warmForks += f
 		warmRestores += r
-		simulations += st.Simulations()
 	}
 	s.suiteMu.Unlock()
 	fab := map[string]any{"role": "single"}
@@ -590,11 +653,10 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		warm["persisted"] = snapshotStore{dir: s.opts.CacheDir}.Snapshots()
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
-		"status":         "ok",
-		"version":        s.version,
-		"uptime_seconds": int64(time.Since(s.started).Seconds()),
-		"simulations":    simulations,
-		"fabric":         fab,
+		"status":      "ok",
+		"runtime":     s.runtimeInfo(),
+		"simulations": s.simulations(),
+		"fabric":      fab,
 		"queue": map[string]any{
 			"depth":     s.pool.Depth(),
 			"capacity":  s.pool.Cap(),

@@ -6,13 +6,14 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"net/http"
 	"sort"
 	"sync"
 	"time"
 
 	"clustersmt/internal/core"
+	"clustersmt/internal/telemetry"
 )
 
 // probeTimeout bounds one peer cache probe or snapshot fetch. Probes
@@ -132,9 +133,11 @@ func (w *worker) announce() {
 		w.peers = ack.Peers
 		w.mu.Unlock()
 		if first {
-			log.Printf("service: fabric: registered with %s (%d peers)", w.coord, len(ack.Peers))
+			slog.Info("fabric: registered",
+				"coordinator", w.coord, "peers", len(ack.Peers))
 			if ack.Version != w.s.version {
-				log.Printf("service: fabric: version mismatch: coordinator %s runs %q, this worker runs %q", w.coord, ack.Version, w.s.version)
+				slog.Warn("fabric: version mismatch",
+					"coordinator", w.coord, "coordinator_version", ack.Version, "worker_version", w.s.version)
 			}
 		}
 	case http.StatusNotFound:
@@ -172,7 +175,13 @@ func (w *worker) peerList() []string {
 func (w *worker) probePeers(ctx context.Context, spec JobSpec, rj *ResolvedJob) (*core.Result, bool, error) {
 	hexHash := rj.HashHex()
 	for _, peer := range w.peerList() {
+		start := time.Now()
 		res, outcome := w.probeOne(ctx, peer, hexHash)
+		if w.s.tel != nil {
+			w.s.tel.peerProbe.With(peer).Observe(time.Since(start).Seconds())
+		}
+		w.s.span(telemetry.TraceIDFrom(ctx), "probe", start,
+			map[string]string{"peer": peer, "outcome": outcome.String()})
 		w.count(peer, outcome)
 		if outcome == probeHit {
 			_ = w.s.cache.Put(rj.Hash(), spec, res)
@@ -193,12 +202,25 @@ const (
 	probeError
 )
 
+func (o probeOutcome) String() string {
+	switch o {
+	case probeHit:
+		return "hit"
+	case probeMiss:
+		return "miss"
+	}
+	return "error"
+}
+
 func (w *worker) probeOne(ctx context.Context, peer, hexHash string) (*core.Result, probeOutcome) {
 	ctx, cancel := context.WithTimeout(ctx, probeTimeout)
 	defer cancel()
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, peer+"/fabric/probe/"+hexHash, nil)
 	if err != nil {
 		return nil, probeError
+	}
+	if id := telemetry.TraceIDFrom(ctx); id != "" {
+		req.Header.Set(telemetry.TraceIDHeader, id)
 	}
 	resp, err := fabricHTTP.Do(req)
 	if err != nil {
@@ -241,12 +263,17 @@ func (w *worker) count(peer string, outcome probeOutcome) {
 // fetchSnapshot pulls a warmed checkpoint from a peer. Misses and
 // errors are indistinguishable to the caller by design: either way the
 // next peer is tried and the warm-up re-runs on a fleet-wide miss.
-func (w *worker) fetchSnapshot(peer, key string) ([]byte, bool) {
-	ctx, cancel := context.WithTimeout(context.Background(), probeTimeout)
+// ctx carries the requesting job's trace ID; the fetch itself still
+// bounds its own deadline.
+func (w *worker) fetchSnapshot(ctx context.Context, peer, key string) ([]byte, bool) {
+	ctx, cancel := context.WithTimeout(ctx, probeTimeout)
 	defer cancel()
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, peer+"/fabric/snap/"+key, nil)
 	if err != nil {
 		return nil, false
+	}
+	if id := telemetry.TraceIDFrom(ctx); id != "" {
+		req.Header.Set(telemetry.TraceIDHeader, id)
 	}
 	resp, err := fabricHTTP.Do(req)
 	if err != nil {

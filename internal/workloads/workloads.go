@@ -130,8 +130,6 @@ func declareRuntime(b *prog.Builder, threads, chips int) {
 	b.Ld(rNTH, 0, b.MustAddr("nthreads"))
 }
 
-var chunkSeq int
-
 // emitChunkTo computes this thread's [lo, hi) slice of total iterations
 // distributed block-wise over an effective width of
 // min(nthreads, cap × max(1, nthreads/8)) threads (cap 0 uses every
@@ -145,11 +143,11 @@ var chunkSeq int
 // Kernels hoist these computations ahead of their time-step loops (the
 // bounds are loop-invariant), as any real compiler would.
 func emitChunkTo(b *prog.Builder, total int64, cap int, lo, hi isa.Reg) {
-	chunkSeq++
-	grpOK := fmt.Sprintf(".ck%d_grpok", chunkSeq)
-	capOK := fmt.Sprintf(".ck%d_capok", chunkSeq)
-	empty := fmt.Sprintf(".ck%d_empty", chunkSeq)
-	done := fmt.Sprintf(".ck%d_done", chunkSeq)
+	seq := b.Seq()
+	grpOK := fmt.Sprintf(".ck%d_grpok", seq)
+	capOK := fmt.Sprintf(".ck%d_capok", seq)
+	empty := fmt.Sprintf(".ck%d_empty", seq)
+	done := fmt.Sprintf(".ck%d_done", seq)
 
 	if cap > 0 {
 		// groups = max(1, nth/8); eff = min(nth, cap*groups).
@@ -174,8 +172,8 @@ func emitChunkTo(b *prog.Builder, total int64, cap int, lo, hi isa.Reg) {
 	// evenly over the chips, worker w on chip c = w % nchips takes
 	// chunk c*(eff/nchips) + w/nchips; otherwise chunks follow worker
 	// rank directly. lo is used as the chunk-index scratch.
-	plain := fmt.Sprintf(".ck%d_plain", chunkSeq)
-	remapped := fmt.Sprintf(".ck%d_remap", chunkSeq)
+	plain := fmt.Sprintf(".ck%d_plain", seq)
+	remapped := fmt.Sprintf(".ck%d_remap", seq)
 	b.Ld(rT1, 0, b.MustAddr("nchips"))
 	b.Rem(rT2, rEFF, rT1)
 	b.Bne(rT2, isa.RegZero, plain)
