@@ -8,13 +8,14 @@ check: diff race
 # fast-forward cycle loops, plus sequential × parallel execution, plus
 # reference × fast memory paths, plus observability on × off, plus
 # run-from-checkpoint × run-from-scratch (and the golden on-disk
-# snapshot fixture), plus service telemetry on × off, must agree
-# bit-for-bit on the full Result (reflect.DeepEqual) across every
-# preset. Fast feedback when touching the issue stage, the quiescence
-# skip, the parallel loop, the memory hierarchy, the metrics/tracing
-# hooks, or the snapshot codec.
+# snapshot fixture), plus service telemetry on × off, plus allocation
+# policy static × none (and dynamic-policy determinism under every
+# loop), must agree bit-for-bit on the full Result (reflect.DeepEqual)
+# across every preset. Fast feedback when touching the issue stage, the
+# quiescence skip, the parallel loop, the memory hierarchy, the
+# metrics/tracing hooks, the snapshot codec, or the alloc subsystem.
 diff:
-	go test ./internal/core -run 'TestEventDriven|TestWakeup|TestStoreForwardingMap|TestMemPath|TestObs|TestParallel|TestMetricsRingDrops|TestCheckpointDifferential|TestSnapshotGolden'
+	go test ./internal/core -run 'TestEventDriven|TestWakeup|TestStoreForwardingMap|TestMemPath|TestObs|TestParallel|TestMetricsRingDrops|TestCheckpointDifferential|TestSnapshotGolden|TestAlloc'
 	go test ./internal/service -run TestTelemetryDifferential
 
 # Race-check the concurrent layers: the core parallel execution mode
@@ -25,7 +26,7 @@ diff:
 # e2e HTTP, cross-node tracing) and telemetry (concurrent scrapes
 # against concurrent observers, span-ring races).
 race:
-	go test -race ./internal/core -run 'TestParallel|TestInterrupt|TestObsFrameConservationParallel|TestMetricsRingDropsParallel|TestSnapshotRoundTripRace'
+	go test -race ./internal/core -run 'TestParallel|TestInterrupt|TestObsFrameConservationParallel|TestMetricsRingDropsParallel|TestSnapshotRoundTripRace|TestAllocParallel'
 	go test -race ./internal/harness/... ./internal/service/... ./internal/telemetry/...
 
 # Regenerate BENCH_core.json (fast-forward, wakeup, memory-path,

@@ -29,6 +29,7 @@
 // Usage:
 //
 //	clusterd [-addr :8421] [-size ref] [-workers N] [-parallel] [-queue N]
+//	         [-alloc icount] [-alloc-epoch N] [-list-policies]
 //	         [-cache-dir DIR] [-cache-entries N] [-max-cycles N]
 //	         [-warmup-cycles N] [-metrics-interval N] [-port-file PATH]
 //	         [-drain-timeout 30s] [-telemetry=false] [-span-ring N]
@@ -54,6 +55,7 @@ import (
 	"syscall"
 	"time"
 
+	"clustersmt/internal/alloc"
 	"clustersmt/internal/service"
 	"clustersmt/internal/version"
 	"clustersmt/internal/workloads"
@@ -71,6 +73,9 @@ func main() {
 	workers := flag.Int("workers", 0, "concurrent simulation workers (0 = GOMAXPROCS)")
 	parallel := flag.Bool("parallel", false, "run each simulation's chips on separate goroutines (bit-identical results)")
 	queueCap := flag.Int("queue", service.DefaultQueueCap, "job queue capacity (full queue returns 429)")
+	allocPolicy := flag.String("alloc", "", "thread-to-cluster allocation policy for every simulation (default static; see -list-policies)")
+	allocEpoch := flag.Int64("alloc-epoch", 0, "rebalance interval in cycles for dynamic allocation policies (0 = default)")
+	listPolicies := flag.Bool("list-policies", false, "list the registered allocation policies and exit")
 	cacheDir := flag.String("cache-dir", "", "persist results under this directory (survives restarts)")
 	cacheEntries := flag.Int("cache-entries", 0, "in-memory result cache entries (0 = default)")
 	maxCycles := flag.Int64("max-cycles", 0, "per-simulation cycle bound (0 = core default)")
@@ -94,6 +99,17 @@ func main() {
 		fmt.Println(version.String())
 		return
 	}
+	if *listPolicies {
+		for _, p := range alloc.List() {
+			fmt.Printf("%-10s %s\n", p.Name, p.Desc)
+		}
+		return
+	}
+	// A typoed -alloc fails at startup with the registered list, not on
+	// the first job.
+	if _, err := alloc.New(*allocPolicy); err != nil {
+		log.Fatal(err)
+	}
 	if *coordinator && *joinURL != "" {
 		log.Fatal("-coordinator and -join are mutually exclusive")
 	}
@@ -116,6 +132,8 @@ func main() {
 		CacheDir:        *cacheDir,
 		MaxCycles:       *maxCycles,
 		WarmupCycles:    *warmupCycles,
+		AllocPolicy:     *allocPolicy,
+		AllocEpoch:      *allocEpoch,
 		MetricsInterval: *metricsInterval,
 		MetricsRingCap:  *metricsRing,
 

@@ -6,6 +6,7 @@
 // Usage:
 //
 //	clustersim [-arch SMT2] [-app ocean] [-highend] [-size ref] [-v]
+//	           [-alloc icount] [-alloc-epoch 10000] [-list-policies]
 //	           [-parallel] [-json] [-metrics out.csv] [-metrics-interval 10000]
 //	           [-trace t.json] [-trace-format chrome]
 //	           [-cpuprofile cpu.out] [-memprofile mem.out]
@@ -22,6 +23,8 @@ import (
 	"strings"
 
 	"clustersmt"
+	"clustersmt/internal/alloc"
+	"clustersmt/internal/config"
 	"clustersmt/internal/core"
 	"clustersmt/internal/obs"
 	"clustersmt/internal/version"
@@ -34,6 +37,9 @@ func main() {
 	archName := flag.String("arch", "SMT2", "architecture: FA8, FA4, FA2, FA1, SMT8, SMT4, SMT2, SMT1")
 	appName := flag.String("app", "ocean", "application: swim, tomcatv, mgrid, vpenta, fmm, ocean (paper) or radix, lu (extras)")
 	highEnd := flag.Bool("highend", false, "simulate the 4-chip high-end machine instead of the 1-chip low-end")
+	allocPolicy := flag.String("alloc", "", "thread-to-cluster allocation policy (default static; see -list-policies)")
+	allocEpoch := flag.Int64("alloc-epoch", 0, "rebalance interval in cycles for dynamic allocation policies (0 = default)")
+	listPolicies := flag.Bool("list-policies", false, "list the registered allocation policies and exit")
 	parallel := flag.Bool("parallel", false, "run the simulation's chips on separate goroutines (bit-identical results; incompatible with -trace)")
 	sizeName := flag.String("size", "ref", "input size: test or ref")
 	verbose := flag.Bool("v", false, "print extended statistics")
@@ -53,6 +59,17 @@ func main() {
 	if *showVersion {
 		fmt.Println(version.String())
 		return
+	}
+	if *listPolicies {
+		for _, p := range alloc.List() {
+			fmt.Printf("%-10s %s\n", p.Name, p.Desc)
+		}
+		return
+	}
+	// Fail a typoed -alloc before any simulation work; the error lists
+	// every registered policy.
+	if _, err := alloc.New(*allocPolicy); err != nil {
+		log.Fatal(err)
 	}
 
 	if *cpuProfile != "" {
@@ -96,6 +113,7 @@ func main() {
 	if *highEnd {
 		m = clustersmt.HighEnd(arch)
 	}
+	m.Alloc = config.AllocConfig{Policy: *allocPolicy, Epoch: *allocEpoch}
 
 	w, err := clustersmt.WorkloadByName(*appName)
 	if err != nil {
@@ -105,6 +123,24 @@ func main() {
 	sim, err := core.New(m, prg)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *allocPolicy == "oracle" {
+		// The oracle is an offline search, not a runtime policy: profile
+		// every canonical static assignment over a short prefix and
+		// install the winner before the measured run (same budget as the
+		// harness).
+		sm := m
+		sm.Alloc = config.AllocConfig{}
+		mk := func() (*core.Simulator, error) {
+			return core.New(sm, w.Build(sm.Threads(), sm.Chips, size))
+		}
+		best, _, err := core.SearchStatic(mk, 20_000, 64)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := sim.SetAssignment(best); err != nil {
+			log.Fatal(err)
+		}
 	}
 	sim.Parallel = *parallel
 	if *tracePath != "" {
@@ -175,6 +211,10 @@ func main() {
 	fmt.Println("synchronization:")
 	fmt.Printf("  lock-acquires=%d lock-conflicts=%d barrier-episodes=%d\n",
 		res.LockAcquires, res.LockConflicts, res.BarrierWaits)
+	if res.AllocEpochs > 0 {
+		fmt.Println("allocation:")
+		fmt.Printf("  policy=%s epochs=%d migrations=%d\n", *allocPolicy, res.AllocEpochs, res.AllocMigrations)
+	}
 	fmt.Println("front end:")
 	fmt.Printf("  branch-mispredict=%.2f%% (%d/%d) btb-mispredict=%d/%d rename-stalls=%d window-stalls=%d forwarded-loads=%d\n",
 		100*res.MispredictRate(), res.BranchMispredicts, res.BranchLookups,

@@ -39,13 +39,15 @@ func main() {
 	log.SetPrefix("paperfigs: ")
 
 	sizeName := flag.String("size", "ref", "input size: test or ref")
-	only := flag.String("only", "", "comma-separated subset: table1,table2,table3,fig1,fig4,fig5,fig6,fig7,fig8,conclusion,model,mix")
+	only := flag.String("only", "", "comma-separated subset: table1,table2,table3,fig1,fig4,fig5,fig6,fig7,fig8,alloc,conclusion,model,mix")
 	outPath := flag.String("o", "", "also write the report to this file")
 	bars := flag.Bool("bars", false, "also draw paper-style stacked bars")
 	progress := flag.Bool("progress", false, "print a per-run heartbeat to stderr every metrics interval")
 	metricsDir := flag.String("metrics", "", "export each run's interval metrics as CSV into this directory")
 	metricsInterval := flag.Int64("metrics-interval", clustersmt.DefaultMetricsInterval, "cycles per metrics frame")
 	warmupCycles := flag.Int64("warmup-cycles", 0, "fork prefix-declaring workloads from a checkpoint warmed to this cycle (0 = off)")
+	allocEpoch := flag.Int64("alloc-epoch", 0, "rebalance interval for the alloc figure's dynamic policies (0 = figure default)")
+	parallelSims := flag.Bool("parallel", false, "run each alloc-figure simulation's chips on separate goroutines (bit-identical results)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	showVersion := flag.Bool("version", false, "print build information and exit")
@@ -186,6 +188,13 @@ func main() {
 			fmt.Fprintln(out)
 		}
 		fmt.Fprintln(out)
+	}
+	if sel("alloc") {
+		fig, err := harness.AllocationFigure(ctx, size, *allocEpoch, *parallelSims)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintln(out, fig.Render())
 	}
 	if sel("conclusion") {
 		for _, highEnd := range []bool{false, true} {

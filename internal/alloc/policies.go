@@ -1,0 +1,229 @@
+package alloc
+
+// The built-in policies. All of them share the same safety shape:
+// at most one migration per epoch (the core drains the thread's
+// window and charges a cold start, so batching moves would stack
+// penalties faster than feedback can judge them), a two-epoch
+// hysteresis per thread, and a strict improvement guard (source must
+// hold at least two more live threads than the destination) so a
+// policy converges instead of oscillating: every accepted move shrinks
+// the live-count imbalance by two.
+
+// hysteresisEpochs is how many epochs a migrated thread is ineligible
+// to move again — long enough for its post-move feedback to be real.
+const hysteresisEpochs = 2
+
+func init() {
+	Register("static", "seed placement, never migrates (the paper's configuration; bit-identical to no allocator)",
+		func() Allocator { return Static{} })
+	Register("icount", "rebalance toward clusters with the fewest in-flight instructions (ICOUNT-style feedback)",
+		func() Allocator { return ICount{} })
+	Register("symbiosis", "separate cache-antagonistic threads across chips using L1/L2 miss and MSHR-occupancy deltas",
+		func() Allocator { return Symbiosis{} })
+	Register("oracle", "best static assignment found by exhaustively profiling a short prefix (upper bound; no migrations)",
+		func() Allocator { return &Oracle{} })
+}
+
+// Static is today's behavior: the seed placement, no migrations.
+type Static struct{}
+
+func (Static) Name() string { return "static" }
+func (Static) Place(threads int, clusters []ClusterInfo) []int {
+	return StaticPlace(threads, clusters)
+}
+func (Static) Rebalance(*Snapshot) []Migration { return nil }
+func (Static) Dynamic() bool                   { return false }
+
+// Oracle replays a fixed assignment found offline (core.SearchStatic
+// profiles every canonical static assignment over a prefix and keeps
+// the best). With no Assignment it degrades to the seed placement.
+type Oracle struct {
+	Assignment []int
+}
+
+func (*Oracle) Name() string { return "oracle" }
+func (o *Oracle) Place(threads int, clusters []ClusterInfo) []int {
+	if len(o.Assignment) == threads {
+		out := make([]int, threads)
+		copy(out, o.Assignment)
+		return out
+	}
+	return StaticPlace(threads, clusters)
+}
+func (*Oracle) Rebalance(*Snapshot) []Migration { return nil }
+func (*Oracle) Dynamic() bool                   { return false }
+
+// pickVictim chooses which thread to move off cluster src: the live,
+// unblocked thread with the least epoch progress (it has the least
+// cache and window state to lose), skipping recently migrated threads.
+// Ties break on the lower thread ID. Returns -1 when nothing on src is
+// movable.
+func pickVictim(s *Snapshot, src int) int {
+	victim, victimCommitted := -1, uint64(0)
+	for _, t := range s.Threads {
+		if t.Cluster != src || t.Finished || t.Blocked {
+			continue
+		}
+		if t.SinceMigrate >= 0 && t.SinceMigrate < hysteresisEpochs {
+			continue
+		}
+		if victim == -1 || t.Committed < victimCommitted {
+			victim, victimCommitted = t.ID, t.Committed
+		}
+	}
+	return victim
+}
+
+// ICount rebalances toward the cluster with the fewest in-flight
+// instructions, the classic ICOUNT signal lifted from fetch policy to
+// placement.
+type ICount struct{}
+
+func (ICount) Name() string { return "icount" }
+func (ICount) Place(threads int, clusters []ClusterInfo) []int {
+	return StaticPlace(threads, clusters)
+}
+func (ICount) Dynamic() bool { return true }
+
+func (ICount) Rebalance(s *Snapshot) []Migration {
+	if len(s.Clusters) < 2 {
+		return nil
+	}
+	src, dst := -1, -1
+	for i, c := range s.Clusters {
+		// Destination: spare capacity, fewest in-flight instructions
+		// (ties: fewer live threads, then lower GID).
+		if c.Threads < c.Capacity {
+			if dst == -1 || less(c, s.Clusters[dst]) {
+				dst = i
+			}
+		}
+		// Source: most in-flight instructions (ties: more live
+		// threads, then lower GID).
+		if src == -1 || less(s.Clusters[src], c) {
+			src = i
+		}
+	}
+	if src == -1 || dst == -1 || src == dst {
+		return nil
+	}
+	sc, dc := s.Clusters[src], s.Clusters[dst]
+	// Improvement guard: the move must strictly shrink the live-count
+	// imbalance, and the in-flight signal must agree.
+	if sc.Threads < dc.Threads+2 || sc.InFlight <= dc.InFlight {
+		return nil
+	}
+	victim := pickVictim(s, sc.GID)
+	if victim == -1 {
+		return nil
+	}
+	return []Migration{{Thread: victim, To: dc.GID}}
+}
+
+// less orders clusters by (InFlight, Threads, GID) — the ICOUNT
+// preference order for destinations; sources use its inverse.
+func less(a, b ClusterSample) bool {
+	if a.InFlight != b.InFlight {
+		return a.InFlight < b.InFlight
+	}
+	if a.Threads != b.Threads {
+		return a.Threads < b.Threads
+	}
+	return a.GID < b.GID
+}
+
+// Symbiosis groups cache-antagonistic threads apart: it scores each
+// chip's memory pressure from the epoch's L1/L2 miss and MSHR-
+// occupancy deltas and moves one thread from the most-pressured chip
+// to the least-pressured chip with spare capacity. Caches are per
+// chip, so only cross-chip moves change cache behavior; on a
+// single-chip machine (or when pressure is flat) it falls back to
+// ICOUNT-style live-count balancing so gross imbalance never survives
+// just because the memory system is quiet.
+type Symbiosis struct{}
+
+func (Symbiosis) Name() string { return "symbiosis" }
+func (Symbiosis) Place(threads int, clusters []ClusterInfo) []int {
+	return StaticPlace(threads, clusters)
+}
+func (Symbiosis) Dynamic() bool { return true }
+
+// pressure is the chip-level antagonism score: L2 misses are the
+// expensive events, L1 misses the early signal, and the MSHR
+// occupancy integral captures how saturated the miss machinery ran.
+func pressure(c ClusterSample) uint64 {
+	return c.L1Misses + 8*c.L2Misses + c.MSHROccupancy
+}
+
+func (Symbiosis) Rebalance(s *Snapshot) []Migration {
+	if len(s.Clusters) < 2 {
+		return nil
+	}
+	// Chip-level view: pressure is repeated on every cluster of a
+	// chip; live counts sum.
+	type chipView struct {
+		chip     int
+		pressure uint64
+		live     int
+	}
+	var chips []chipView
+	byChip := map[int]int{}
+	for _, c := range s.Clusters {
+		i, ok := byChip[c.Chip]
+		if !ok {
+			i = len(chips)
+			byChip[c.Chip] = i
+			chips = append(chips, chipView{chip: c.Chip, pressure: pressure(c)})
+		}
+		chips[i].live += c.Threads
+	}
+	if len(chips) > 1 {
+		hot, cold := 0, 0
+		for i := 1; i < len(chips); i++ {
+			if chips[i].pressure > chips[hot].pressure ||
+				(chips[i].pressure == chips[hot].pressure && chips[i].chip < chips[hot].chip) {
+				hot = i
+			}
+			if chips[i].pressure < chips[cold].pressure ||
+				(chips[i].pressure == chips[cold].pressure && chips[i].chip < chips[cold].chip) {
+				cold = i
+			}
+		}
+		// Antagonists only exist where at least two threads share the
+		// hot chip's caches; the count guard keeps the move convergent.
+		if hot != cold && chips[hot].pressure > chips[cold].pressure &&
+			chips[hot].live >= 2 && chips[hot].live >= chips[cold].live+2 {
+			if m := crossChipMove(s, chips[hot].chip, chips[cold].chip); m != nil {
+				return m
+			}
+		}
+	}
+	// Fallback: plain live-count balancing (chip-agnostic).
+	return ICount{}.Rebalance(s)
+}
+
+// crossChipMove picks the busiest source cluster on the hot chip and
+// the emptiest destination cluster with capacity on the cold chip.
+func crossChipMove(s *Snapshot, hotChip, coldChip int) []Migration {
+	src, dst := -1, -1
+	for i, c := range s.Clusters {
+		if c.Chip == hotChip && c.Threads > 0 {
+			if src == -1 || less(s.Clusters[src], c) {
+				src = i
+			}
+		}
+		if c.Chip == coldChip && c.Threads < c.Capacity {
+			if dst == -1 || less(c, s.Clusters[dst]) {
+				dst = i
+			}
+		}
+	}
+	if src == -1 || dst == -1 {
+		return nil
+	}
+	victim := pickVictim(s, s.Clusters[src].GID)
+	if victim == -1 {
+		return nil
+	}
+	return []Migration{{Thread: victim, To: s.Clusters[dst].GID}}
+}

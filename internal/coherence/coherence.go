@@ -687,6 +687,23 @@ func (s *System) Snapshot(now int64) MemSnapshot {
 	return snap
 }
 
+// ChipSnapshot is one chip's slice of a MemSnapshot: the per-chip
+// cache counters and MSHR occupancy the allocation subsystem samples
+// at epoch boundaries. Like Snapshot it must never mutate timing
+// state, and it reads only state owned by (or folded from) this chip,
+// so values at a cycle boundary are identical under the sequential and
+// per-chip parallel loops.
+func (s *System) ChipSnapshot(chip int, now int64) MemSnapshot {
+	c := s.Chips[chip]
+	return MemSnapshot{
+		L1Hits:        c.L1.Hits,
+		L1Misses:      c.L1.Misses,
+		L2Hits:        c.L2.Hits,
+		L2Misses:      c.L2.Misses,
+		MSHROccupancy: c.MSHR.Occupancy(now),
+	}
+}
+
 // CanAcceptLoad reports whether chip could start a new load miss at
 // cycle now (issue gating for the pipeline's memory-hazard accounting).
 func (s *System) CanAcceptLoad(now int64, chip int) bool {

@@ -70,6 +70,15 @@ func (m Machine) AppendCanonical(b *strings.Builder) {
 	fmt.Fprintf(b, "chips=%d\n", m.Chips)
 	m.Arch.appendCanonical(b)
 	m.Mem.appendCanonical(b)
+	// Allocation policy: the normalized static form emits nothing, so
+	// every pre-allocation encoding (and hence every persisted cache
+	// entry and snapshot machine hash) stays byte-identical; dynamic
+	// policies append their identity so the service cache never
+	// conflates two policies' results.
+	if a := m.Alloc.Normalize(); a.Policy != "" {
+		fmt.Fprintf(b, "alloc.policy=%s\n", a.Policy)
+		fmt.Fprintf(b, "alloc.epoch=%d\n", a.Epoch)
+	}
 }
 
 // Canonical returns the deterministic, field-ordered encoding of the

@@ -247,6 +247,37 @@ func (m MemConfig) Validate() error {
 	return nil
 }
 
+// DefaultAllocEpoch is the rebalance interval (cycles) used when a
+// dynamic allocation policy is selected without an explicit epoch.
+const DefaultAllocEpoch = 10000
+
+// AllocConfig selects the thread-to-cluster allocation policy
+// (internal/alloc) and, for dynamic policies, the epoch length in
+// cycles between Rebalance consultations.
+type AllocConfig struct {
+	// Policy names a registered allocator ("" and "static" both mean
+	// the seed placement with no runtime allocator).
+	Policy string
+	// Epoch is the rebalance interval in cycles (dynamic policies
+	// only; <= 0 resolves to DefaultAllocEpoch).
+	Epoch int64
+}
+
+// Normalize resolves the defaulted forms: "" and "static" collapse to
+// the zero AllocConfig (so a machine explicitly configured static is
+// the same machine — same hash, same Result — as one that never heard
+// of allocation), and a dynamic policy with no epoch gets
+// DefaultAllocEpoch.
+func (a AllocConfig) Normalize() AllocConfig {
+	if a.Policy == "" || a.Policy == "static" {
+		return AllocConfig{}
+	}
+	if a.Epoch <= 0 {
+		a.Epoch = DefaultAllocEpoch
+	}
+	return a
+}
+
 // Machine is a full system: some number of identical chips sharing one
 // application under directory-based coherence (Fig. 3). The low-end
 // machine has one chip; the high-end machine has four.
@@ -255,6 +286,9 @@ type Machine struct {
 	Chips int
 	Arch  Arch
 	Mem   MemConfig
+	// Alloc selects the thread-to-cluster allocation policy; the zero
+	// value is the paper's static placement.
+	Alloc AllocConfig
 }
 
 // Threads returns the total hardware contexts in the machine; the

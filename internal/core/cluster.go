@@ -18,6 +18,7 @@ const (
 	blockBranch              // mispredicted branch in flight; resume at resolve
 	blockLock                // spinning on a held lock
 	blockBarrier             // parked at a barrier
+	blockMigrate             // pipeline refill after a cluster migration
 )
 
 // threadCtx is one hardware context: a functional thread plus its
@@ -40,6 +41,14 @@ type threadCtx struct {
 	lockGranted   bool   // TryLock succeeded while blocked; consume at fetch
 	barArrived    bool
 	barTarget     uint64
+
+	// migrateTo, when non-nil, marks the thread as draining for a
+	// migration to that cluster: fetch skips it, its in-flight window
+	// empties through normal commit, and the move happens between
+	// cycles once inWindow reaches zero (core/alloc.go). migrateReady
+	// is the cycle the post-move blockMigrate refill stall lifts.
+	migrateTo    *cluster
+	migrateReady int64
 
 	lastWriterInt [isa.NumIntRegs]*entry
 	lastWriterFP  [isa.NumFPRegs]*entry
@@ -110,10 +119,14 @@ type cluster struct {
 	storeQ []int64
 
 	threads []*threadCtx
-	window  []*entry // reorder buffer: dispatch -> commit
-	iqCount int      // instruction-queue occupancy: dispatch -> issue
-	zombies int      // committed entries not yet swept out of window
-	seq     uint64
+	// migrateIn counts accepted-but-not-yet-completed migrations headed
+	// here; capacity checks charge them so an epoch can never oversubscribe
+	// a cluster's hardware contexts.
+	migrateIn int
+	window    []*entry // reorder buffer: dispatch -> commit
+	iqCount   int      // instruction-queue occupancy: dispatch -> issue
+	zombies   int      // committed entries not yet swept out of window
+	seq       uint64
 
 	renameIntFree int
 	renameFPFree  int
@@ -525,6 +538,13 @@ func (c *cluster) unblock(s *Simulator, now int64) bool {
 				s.addRunning(c.chip, 1)
 				resumed = true
 			}
+		case blockMigrate:
+			// Pipeline refill after a migration: a plain timed stall, not
+			// a synchronization block, so the running count never moved.
+			if now >= t.migrateReady {
+				t.block = blockNone
+				resumed = true
+			}
 		}
 	}
 	return resumed
@@ -765,7 +785,7 @@ func (c *cluster) pickFetchThread() *threadCtx {
 		bestIdx := 0
 		for i := 0; i < n; i++ {
 			t := c.threads[(c.fetchRR+i)%n]
-			if t.fn.Halted || t.block != blockNone {
+			if t.fn.Halted || t.block != blockNone || t.migrateTo != nil {
 				continue
 			}
 			if best == nil || t.inWindow < best.inWindow {
@@ -779,7 +799,7 @@ func (c *cluster) pickFetchThread() *threadCtx {
 	}
 	for i := 0; i < n; i++ {
 		t := c.threads[(c.fetchRR+i)%n]
-		if t.fn.Halted || t.block != blockNone {
+		if t.fn.Halted || t.block != blockNone || t.migrateTo != nil {
 			continue
 		}
 		c.fetchRR = (c.fetchRR + i + 1) % n
@@ -799,6 +819,10 @@ func (c *cluster) threadVotes(votes *stats.Votes) {
 			votes[stats.Sync]++
 		case t.block == blockBranch:
 			votes[stats.Control]++
+		case t.block == blockMigrate:
+			// Migration refill is charged as an "other" pipeline stall —
+			// it is neither synchronization nor a control hazard.
+			votes[stats.Other]++
 		case t.inWindow == 0:
 			votes[stats.Fetch]++
 		}

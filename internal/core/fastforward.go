@@ -97,7 +97,22 @@ func (s *Simulator) clusterQuiescent(cl *cluster, now int64, votes *stats.Votes)
 			if t.sync.Released(t.fn.Peek().Imm, t.barTarget) {
 				return false, 0
 			}
+		case blockMigrate:
+			// Post-migration refill stall: lifts at a known cycle.
+			if now >= t.migrateReady {
+				return false, 0
+			}
+			event(t.migrateReady)
 		case blockNone:
+			if t.migrateTo != nil {
+				// Draining for a migration: fetch skips it; its in-flight
+				// completions are window events. Once drained the move
+				// itself (between cycles) is progress.
+				if t.inWindow == 0 {
+					return false, 0
+				}
+				continue
+			}
 			if t.fn.Halted {
 				continue // draining or done; never fetches again
 			}
@@ -267,6 +282,14 @@ func (s *Simulator) fastForward() bool {
 		if at < next {
 			next = at
 		}
+	}
+
+	// An allocation epoch boundary is an event too: the policy must
+	// observe the machine at exactly the cycle it would under plain
+	// stepping, so skips clamp to it (alloc.nextAt is always > now here —
+	// the run loop fires the epoch before probing quiescence).
+	if s.alloc != nil && s.alloc.nextAt < next {
+		next = s.alloc.nextAt
 	}
 
 	if next >= s.MaxCycles {

@@ -52,18 +52,28 @@ func NewMulti(m config.Machine, progs []*prog.Program) (*Simulator, error) {
 			s.clusters = append(s.clusters, cl)
 		}
 	}
+	s.numberClusters()
+	assign, err := s.initAlloc(len(progs))
+	if err != nil {
+		return nil, err
+	}
 	for i, p := range progs {
 		mem := interp.NewMemory()
 		mem.LoadImage(p)
 		s.mems = append(s.mems, mem)
 
-		chip := i % m.Chips
-		local := i / m.Chips
-		ci := local % m.Arch.Clusters
-		cl := s.chips[chip][ci]
+		var cl *cluster
+		if assign != nil {
+			cl = s.clusters[assign[i]]
+		} else {
+			chip := i % m.Chips
+			local := i / m.Chips
+			ci := local % m.Arch.Clusters
+			cl = s.chips[chip][ci]
+		}
 		t := &threadCtx{
 			id:         i,
-			chip:       chip,
+			chip:       cl.chip,
 			cluster:    cl,
 			fn:         interp.NewThread(0, p, mem),
 			sync:       parallel.NewSync(1),
@@ -78,7 +88,6 @@ func NewMulti(m config.Machine, progs []*prog.Program) (*Simulator, error) {
 	s.running = len(s.threads)
 	s.EventDriven = true
 	s.EventIssue = true
-	s.numberClusters()
 	return s, nil
 }
 

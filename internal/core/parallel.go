@@ -289,6 +289,11 @@ func (s *Simulator) stepParallel() bool {
 		cl.storeQ = cl.storeQ[:0]
 	}
 
+	// Drained migrations move between commit and issue, exactly where
+	// the sequential step performs them; the workers are parked, so the
+	// coordinator re-homes threads with no cluster stage in flight.
+	migrated := len(s.migrating) > 0 && s.completeMigrations(now)
+
 	// Phase B: parallel when no ready load can reach the directory,
 	// else the coordinator runs the chips in order (same code path,
 	// same sharded counters, no turn protocol needed).
@@ -311,7 +316,7 @@ func (s *Simulator) stepParallel() bool {
 	// integer shard folds. Float addition is not associative, so the
 	// machine tally must see the per-cluster calls in sequential order;
 	// the integer folds are exact in any order.
-	active := false
+	active := migrated
 	for _, cl := range s.clusters {
 		gid := cl.gid
 		s.slots.RecordCycle(cl.cfg.IssueWidth, r.issued[gid], &r.votes[gid])

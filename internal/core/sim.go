@@ -100,6 +100,13 @@ type Simulator struct {
 	ffStalled  []ffStalledCluster
 	ffCycles   int64
 
+	// alloc is the dynamic allocation-policy state (nil for static
+	// placement — the default — and for the oracle's fixed assignments);
+	// migrating lists threads marked for migration and still draining
+	// their in-flight window. See alloc.go.
+	alloc     *allocState
+	migrating []*threadCtx
+
 	// MaxCycles aborts the run when exceeded (safety net).
 	MaxCycles int64
 
@@ -139,7 +146,10 @@ func New(m config.Machine, p *prog.Program) (*Simulator, error) {
 	if err := m.Validate(); err != nil {
 		return nil, err
 	}
-	s := newShell(m, p, interp.NewMemory(), coherence.NewSystem(m.Chips, m.Mem))
+	s, err := newShell(m, p, interp.NewMemory(), coherence.NewSystem(m.Chips, m.Mem))
+	if err != nil {
+		return nil, err
+	}
 	s.mem.LoadImage(p)
 	return s, nil
 }
@@ -150,7 +160,7 @@ func New(m config.Machine, p *prog.Program) (*Simulator, error) {
 // fresh memory; the fork and restore paths (snapshot.go) instead attach
 // a copy-on-write or decoded memory that already carries the warmed
 // store state, which LoadImage would clobber.
-func newShell(m config.Machine, p *prog.Program, mem *interp.Memory, msys *coherence.System) *Simulator {
+func newShell(m config.Machine, p *prog.Program, mem *interp.Memory, msys *coherence.System) (*Simulator, error) {
 	s := &Simulator{
 		Machine:   m,
 		Program:   p,
@@ -171,20 +181,32 @@ func newShell(m config.Machine, p *prog.Program, mem *interp.Memory, msys *coher
 			s.clusters = append(s.clusters, cl)
 		}
 	}
+	s.numberClusters()
 
-	// Threads are placed round-robin across chips and then round-robin
-	// across the clusters within a chip (standard SPMD placement), so
-	// consecutive thread ids land on different chips/clusters and
-	// partially-parallel applications spread their active threads over
-	// the whole machine.
+	// Initial placement: the allocation policy decides (alloc.go); with
+	// the default static policy, assign is nil and the seed loop below
+	// runs byte-for-byte unchanged. Threads are placed round-robin
+	// across chips and then round-robin across the clusters within a
+	// chip (standard SPMD placement), so consecutive thread ids land on
+	// different chips/clusters and partially-parallel applications
+	// spread their active threads over the whole machine.
+	assign, err := s.initAlloc(m.Threads())
+	if err != nil {
+		return nil, err
+	}
 	for tid := 0; tid < m.Threads(); tid++ {
-		chip := tid % m.Chips
-		local := tid / m.Chips
-		ci := local % m.Arch.Clusters
-		cl := s.chips[chip][ci]
+		var cl *cluster
+		if assign != nil {
+			cl = s.clusters[assign[tid]]
+		} else {
+			chip := tid % m.Chips
+			local := tid / m.Chips
+			ci := local % m.Arch.Clusters
+			cl = s.chips[chip][ci]
+		}
 		t := &threadCtx{
 			id:         tid,
-			chip:       chip,
+			chip:       cl.chip,
 			cluster:    cl,
 			fn:         interp.NewThread(tid, p, s.mem),
 			sync:       sync,
@@ -196,8 +218,7 @@ func newShell(m config.Machine, p *prog.Program, mem *interp.Memory, msys *coher
 	s.running = len(s.threads)
 	s.EventDriven = true
 	s.EventIssue = true
-	s.numberClusters()
-	return s
+	return s, nil
 }
 
 // numberClusters assigns each cluster its global (chip-major) index —
@@ -242,6 +263,9 @@ func (s *Simulator) step() bool {
 		if cl.commit(s, now) {
 			active = true
 		}
+	}
+	if len(s.migrating) > 0 && s.completeMigrations(now) {
+		active = true
 	}
 	var votes stats.Votes
 	for _, cl := range s.clusters {
@@ -348,6 +372,13 @@ func (s *Simulator) run(target int64) (*Result, error) {
 			default:
 			}
 		}
+		if s.alloc != nil && s.cycle >= s.alloc.nextAt {
+			// Epoch boundary: runs between cycles on the coordinator (the
+			// workers only ever run inside stepParallel), and the fast-
+			// forward clamps its jumps to nextAt, so the policy observes
+			// the machine at exactly this cycle under every execution mode.
+			s.allocEpoch()
+		}
 		if idle && s.EventDriven && s.cycle >= probeAt {
 			if s.fastForward() {
 				idle = false
@@ -406,6 +437,10 @@ func (s *Simulator) result() *Result {
 	if s.cycle > 0 {
 		r.IPC = float64(s.committed) / float64(s.cycle)
 		r.AvgRunningThreads = s.runningAccum / float64(s.cycle)
+	}
+	if s.alloc != nil {
+		r.AllocMigrations = s.alloc.migrations
+		r.AllocEpochs = s.alloc.epoch
 	}
 	for _, cl := range s.clusters {
 		r.BranchLookups += cl.bp.Lookups
@@ -469,6 +504,12 @@ type Result struct {
 	Writebacks    uint64
 	ThreeHops     uint64
 	NetMessages   uint64
+
+	// AllocMigrations counts accepted thread migrations and AllocEpochs
+	// the allocation-policy epoch boundaries evaluated; both stay zero
+	// for static placement and the oracle's fixed assignments.
+	AllocMigrations uint64
+	AllocEpochs     uint64
 }
 
 // ClusterStats is one cluster's share of the issue-slot accounting.

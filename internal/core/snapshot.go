@@ -57,9 +57,15 @@ import (
 //     holds it to that.
 
 // SnapshotVersion is the current checkpoint format version. Any change
-// to the encoding must bump it; Restore refuses other versions with
-// ErrSnapshotVersion.
-const SnapshotVersion = 1
+// to the encoding must bump it; Restore refuses versions it does not
+// understand with ErrSnapshotVersion. Version 2 added the dynamic
+// allocation sections (per-cluster thread assignment, migration refill
+// state, allocator epoch state); version-1 payloads — which could only
+// ever hold the static seed placement — still decode.
+const SnapshotVersion = 2
+
+// snapshotMinVersion is the oldest payload version Restore accepts.
+const snapshotMinVersion = 1
 
 // snapMagic is "CSMT" as a big-endian u32.
 const snapMagic = 0x43534d54
@@ -142,6 +148,12 @@ func (s *Simulator) snapshotSupported() error {
 			return fmt.Errorf("%w: undrained store queue (mid-cycle state)", ErrSnapshotUnsupported)
 		}
 	}
+	if len(s.migrating) != 0 {
+		// A draining migration resolves within the longest in-flight
+		// latency; callers pausing at an arbitrary cycle simply step past
+		// it. Post-move refill stalls (blockMigrate) snapshot fine.
+		return fmt.Errorf("%w: thread migration draining (mid-epoch state)", ErrSnapshotUnsupported)
+	}
 	if s.obs != nil && s.obs.ring.Cap() > maxSnapshotRingCap {
 		return fmt.Errorf("%w: sampler ring capacity %d exceeds %d", ErrSnapshotUnsupported, s.obs.ring.Cap(), maxSnapshotRingCap)
 	}
@@ -191,8 +203,8 @@ func Restore(m config.Machine, p *prog.Program, data []byte) (*Simulator, error)
 	if magic != snapMagic {
 		return nil, fmt.Errorf("%w: bad magic %#x", ErrSnapshotCorrupt, magic)
 	}
-	if ver != SnapshotVersion {
-		return nil, fmt.Errorf("%w: payload version %d, this build reads %d", ErrSnapshotVersion, ver, SnapshotVersion)
+	if ver < snapshotMinVersion || ver > SnapshotVersion {
+		return nil, fmt.Errorf("%w: payload version %d, this build reads %d through %d", ErrSnapshotVersion, ver, snapshotMinVersion, SnapshotVersion)
 	}
 	mh := r.Bytes8()
 	fp := r.Bytes8()
@@ -216,8 +228,11 @@ func Restore(m config.Machine, p *prog.Program, data []byte) (*Simulator, error)
 			return nil, fmt.Errorf("%w: program differs and no shared warm-up prefix applies", ErrSnapshotMismatch)
 		}
 	}
-	s := newShell(m, p, interp.NewMemory(), coherence.NewSystem(m.Chips, m.Mem))
-	if err := s.decodeCore(r); err != nil {
+	s, err := newShell(m, p, interp.NewMemory(), coherence.NewSystem(m.Chips, m.Mem))
+	if err != nil {
+		return nil, err
+	}
+	if err := s.decodeCore(r, ver); err != nil {
 		return nil, err
 	}
 	s.mem.DecodeSnap(r)
@@ -268,8 +283,11 @@ func (s *Simulator) ForkProgram(p2 *prog.Program) (*Simulator, error) {
 	}
 	w := snap.NewWriter()
 	s.encodeCore(w)
-	cp := newShell(s.Machine, p2, s.mem.Fork(), s.msys.Fork())
-	if err := cp.decodeCore(snap.NewReader(w.Bytes())); err != nil {
+	cp, err := newShell(s.Machine, p2, s.mem.Fork(), s.msys.Fork())
+	if err != nil {
+		return nil, err
+	}
+	if err := cp.decodeCore(snap.NewReader(w.Bytes()), SnapshotVersion); err != nil {
 		// Cannot happen for bytes we just produced; surface rather than
 		// hand back a half-decoded simulator.
 		return nil, err
@@ -298,8 +316,55 @@ func (s *Simulator) encodeCore(w *snap.Writer) {
 	w.Bool(s.EventIssue)
 	encodeSlots(w, &s.slots)
 	s.syncs[0].EncodeSnap(w)
+	// v2: the current thread-to-cluster assignment, as each cluster's
+	// thread-id list in residence order. Dynamic policies migrate
+	// threads, so the freshly built shell's seed placement must be
+	// overlaid before the per-cluster sections (which iterate c.threads)
+	// can decode.
+	tidOf := make(map[*threadCtx]int, len(s.threads))
+	for i, t := range s.threads {
+		tidOf[t] = i
+	}
+	for _, c := range s.clusters {
+		w.Int(len(c.threads))
+		for _, t := range c.threads {
+			w.Int(tidOf[t])
+		}
+	}
 	for _, c := range s.clusters {
 		c.encodeSnap(w)
+	}
+	// v2: migration refill state and the allocator's epoch state.
+	for _, t := range s.threads {
+		w.I64(t.migrateReady)
+	}
+	if s.alloc == nil {
+		w.Bool(false)
+	} else {
+		w.Bool(true)
+		a := s.alloc
+		w.I64(a.interval)
+		w.I64(a.nextAt)
+		w.U64(a.epoch)
+		w.U64(a.migrations)
+		for _, v := range a.prevThreadCommitted {
+			w.U64(v)
+		}
+		for _, v := range a.lastMigrated {
+			w.I64(v)
+		}
+		for i := range a.prevChipMem {
+			m := &a.prevChipMem[i]
+			w.U64(m.Loads)
+			w.U64(m.Stores)
+			w.U64(m.LoadRetries)
+			w.U64(m.L1Hits)
+			w.U64(m.L1Misses)
+			w.U64(m.L2Hits)
+			w.U64(m.L2Misses)
+			w.Int(m.MSHROccupancy)
+			w.Int(m.DirLines)
+		}
 	}
 	if s.obs != nil {
 		w.Bool(true)
@@ -309,8 +374,10 @@ func (s *Simulator) encodeCore(w *snap.Writer) {
 	}
 }
 
-// decodeCore overlays a core section onto a freshly built shell.
-func (s *Simulator) decodeCore(r *snap.Reader) error {
+// decodeCore overlays a core section onto a freshly built shell. ver
+// is the payload's format version (Restore's header; forks always use
+// the current version).
+func (s *Simulator) decodeCore(r *snap.Reader, ver uint32) error {
 	s.cycle = r.I64()
 	s.committed = r.U64()
 	s.forwardedLoads = r.U64()
@@ -326,9 +393,54 @@ func (s *Simulator) decodeCore(r *snap.Reader) error {
 	if s.finished < 0 || s.finished > len(s.threads) || s.running < 0 || s.running > len(s.threads) {
 		return fmt.Errorf("%w: thread accounting out of range", ErrSnapshotCorrupt)
 	}
-	for _, c := range s.clusters {
-		if err := c.decodeSnap(r, s.Program); err != nil {
+	if ver >= 2 {
+		if err := s.decodeAssignment(r); err != nil {
 			return err
+		}
+	}
+	for _, c := range s.clusters {
+		if err := c.decodeSnap(r, s.Program, ver); err != nil {
+			return err
+		}
+	}
+	if ver >= 2 {
+		for _, t := range s.threads {
+			t.migrateReady = r.I64()
+		}
+		hasAlloc := r.Bool()
+		if r.Err() != nil {
+			return r.Err()
+		}
+		if hasAlloc != (s.alloc != nil) {
+			return fmt.Errorf("%w: allocator state presence disagrees with machine policy", ErrSnapshotCorrupt)
+		}
+		if hasAlloc {
+			a := s.alloc
+			a.interval = r.I64()
+			a.nextAt = r.I64()
+			a.epoch = r.U64()
+			a.migrations = r.U64()
+			for i := range a.prevThreadCommitted {
+				a.prevThreadCommitted[i] = r.U64()
+			}
+			for i := range a.lastMigrated {
+				a.lastMigrated[i] = r.I64()
+			}
+			for i := range a.prevChipMem {
+				m := &a.prevChipMem[i]
+				m.Loads = r.U64()
+				m.Stores = r.U64()
+				m.LoadRetries = r.U64()
+				m.L1Hits = r.U64()
+				m.L1Misses = r.U64()
+				m.L2Hits = r.U64()
+				m.L2Misses = r.U64()
+				m.MSHROccupancy = r.Int()
+				m.DirLines = r.Int()
+			}
+			if r.Err() == nil && a.interval <= 0 {
+				return fmt.Errorf("%w: allocator epoch interval %d", ErrSnapshotCorrupt, a.interval)
+			}
 		}
 	}
 	if r.Bool() {
@@ -341,6 +453,71 @@ func (s *Simulator) decodeCore(r *snap.Reader) error {
 			return fmt.Errorf("core: snapshot payload: %w", err)
 		}
 		return fmt.Errorf("%w: %v", ErrSnapshotCorrupt, err)
+	}
+	// With thread state fully decoded, enforce the capacity invariant
+	// the residence-list pass deferred: live (unfinished) threads never
+	// exceed a cluster's hardware contexts.
+	for ci, cl := range s.clusters {
+		live := 0
+		for _, t := range cl.threads {
+			if !t.done() {
+				live++
+			}
+		}
+		if live > cl.cfg.ThreadsPerCluster {
+			return fmt.Errorf("%w: cluster %d holds %d live threads (capacity %d)", ErrSnapshotCorrupt, ci, live, cl.cfg.ThreadsPerCluster)
+		}
+	}
+	return nil
+}
+
+// decodeAssignment reads each cluster's thread-id residence list (v2)
+// and re-homes the shell's threads to match the encoded placement, so
+// the per-cluster sections that follow iterate the same thread order
+// the encoder did.
+func (s *Simulator) decodeAssignment(r *snap.Reader) error {
+	seen := make([]bool, len(s.threads))
+	lists := make([][]int, len(s.clusters))
+	for ci := range s.clusters {
+		n := r.Int()
+		if r.Err() != nil {
+			return r.Err()
+		}
+		// Residence lists include finished threads, which stay on the
+		// cluster that retired them, so a cluster that absorbed
+		// migrations can legally list more threads than it has hardware
+		// contexts. Only the total is bounded here; the live-thread
+		// capacity invariant is checked after per-thread state decodes.
+		if n < 0 || n > len(s.threads) {
+			return fmt.Errorf("%w: cluster %d residence list holds %d of %d threads", ErrSnapshotCorrupt, ci, n, len(s.threads))
+		}
+		list := make([]int, n)
+		for i := range list {
+			tid := r.Int()
+			if r.Err() != nil {
+				return r.Err()
+			}
+			if tid < 0 || tid >= len(s.threads) || seen[tid] {
+				return fmt.Errorf("%w: thread id %d in cluster %d residence list", ErrSnapshotCorrupt, tid, ci)
+			}
+			seen[tid] = true
+			list[i] = tid
+		}
+		lists[ci] = list
+	}
+	for tid, ok := range seen {
+		if !ok {
+			return fmt.Errorf("%w: residence lists omit thread %d", ErrSnapshotCorrupt, tid)
+		}
+	}
+	for ci, cl := range s.clusters {
+		cl.threads = cl.threads[:0]
+		for _, tid := range lists[ci] {
+			t := s.threads[tid]
+			t.cluster = cl
+			t.chip = cl.chip
+			cl.threads = append(cl.threads, t)
+		}
 	}
 	return nil
 }
@@ -692,7 +869,7 @@ func (c *cluster) encodeSnap(w *snap.Writer) {
 // the same configuration, rebuilding the entry graph into a single
 // fresh slab. p supplies the static code the entries' instruction
 // words are re-derived from.
-func (c *cluster) decodeSnap(r *snap.Reader, p *prog.Program) error {
+func (c *cluster) decodeSnap(r *snap.Reader, p *prog.Program, ver uint32) error {
 	c.seq = r.U64()
 	c.iqCount = r.Int()
 	c.zombies = r.Int()
@@ -867,7 +1044,12 @@ func (c *cluster) decodeSnap(r *snap.Reader, p *prog.Program) error {
 		if r.Err() != nil {
 			return r.Err()
 		}
-		if block > uint8(blockBarrier) {
+		maxBlock := uint8(blockMigrate)
+		if ver < 2 {
+			// v1 predates migration; its payloads can never hold the state.
+			maxBlock = uint8(blockBarrier)
+		}
+		if block > maxBlock {
 			return fmt.Errorf("%w: thread block state %d", ErrSnapshotCorrupt, block)
 		}
 		t.block = blockReason(block)

@@ -52,6 +52,11 @@ type runKey struct {
 	issue    int
 	tpc      int
 	chips    int
+	// Normalized allocation policy: two policies must never share a
+	// cached result (the canonical machine encoding makes the same
+	// distinction for the persistent service cache).
+	policy string
+	epoch  int64
 }
 
 // inflight is one simulation's cache slot, registered before the run
@@ -70,6 +75,14 @@ type Suite struct {
 	Size workloads.Size
 	// MaxCycles bounds each simulation (0 = core default).
 	MaxCycles int64
+
+	// AllocPolicy selects the thread-to-cluster allocation policy for
+	// every simulation this suite runs ("" or "static" = the paper's
+	// fixed seed placement; see internal/alloc for the registry).
+	// AllocEpoch is the dynamic policies' epoch length in cycles (0 =
+	// config.DefaultAllocEpoch). Set before the first Run.
+	AllocPolicy string
+	AllocEpoch  int64
 	// Parallel runs each simulation's chips on separate goroutines
 	// (core.Simulator.Parallel). Results stay bit-identical to the
 	// sequential loop; the win is wall clock on multi-chip machines
@@ -141,6 +154,9 @@ type Suite struct {
 	warmRestores atomic.Int64
 	sims         atomic.Int64
 
+	allocMigrations atomic.Int64
+	allocEpochs     atomic.Int64
+
 	obsMu sync.Mutex
 	rings map[string]*obs.Ring // "app@machine" -> retained frames
 }
@@ -171,9 +187,20 @@ func (s *Suite) SetParallelism(n int) {
 	s.sem = make(chan struct{}, n)
 }
 
-func key(app string, arch config.Arch, chips int) runKey {
+func key(app string, arch config.Arch, chips int, a config.AllocConfig) runKey {
 	return runKey{app: app, clusters: arch.Clusters, issue: arch.IssueWidth,
-		tpc: arch.ThreadsPerCluster, chips: chips}
+		tpc: arch.ThreadsPerCluster, chips: chips, policy: a.Policy, epoch: a.Epoch}
+}
+
+// machine resolves the suite's machine for one run: the paper preset
+// plus the suite's allocation policy.
+func (s *Suite) machine(arch config.Arch, highEnd bool) config.Machine {
+	m := config.LowEnd(arch)
+	if highEnd {
+		m = config.HighEnd(arch)
+	}
+	m.Alloc = config.AllocConfig{Policy: s.AllocPolicy, Epoch: s.AllocEpoch}
+	return m
 }
 
 // Run simulates app on arch (low-end: 1 chip; high-end: 4 chips),
@@ -201,11 +228,8 @@ func canceled(err error) bool {
 // like results (a failing configuration simulates once, not once per
 // figure that includes it).
 func (s *Suite) RunContext(ctx context.Context, app workloads.Workload, arch config.Arch, highEnd bool) (*core.Result, error) {
-	m := config.LowEnd(arch)
-	if highEnd {
-		m = config.HighEnd(arch)
-	}
-	k := key(app.Name, arch, m.Chips)
+	m := s.machine(arch, highEnd)
+	k := key(app.Name, arch, m.Chips, m.Alloc.Normalize())
 
 	for {
 		s.mu.Lock()
@@ -276,14 +300,29 @@ func (s *Suite) runOwned(ctx context.Context, app workloads.Workload, m config.M
 // (see warmup.go) and from cycle zero otherwise.
 func (s *Suite) simulate(ctx context.Context, app workloads.Workload, m config.Machine) (*core.Result, error) {
 	p := app.Build(m.Threads(), m.Chips, s.Size)
-	sim, warmed, err := s.warmStart(ctx, m, p)
-	if err != nil {
-		return nil, fmt.Errorf("harness: %s on %s: %w", app.Name, m.Name, err)
+	var sim *core.Simulator
+	var warmed bool
+	var err error
+	pol := m.Alloc.Normalize().Policy
+	if pol == "" {
+		// Warmed checkpoints are shared across runs with identical
+		// machine hashes under the seed placement; a non-static policy
+		// changes placement (and thus warm-up) itself, so those runs
+		// always start cold.
+		sim, warmed, err = s.warmStart(ctx, m, p)
+		if err != nil {
+			return nil, fmt.Errorf("harness: %s on %s: %w", app.Name, m.Name, err)
+		}
 	}
 	if sim == nil {
 		sim, err = core.New(m, p)
 		if err != nil {
 			return nil, fmt.Errorf("harness: %s on %s: %w", app.Name, m.Name, err)
+		}
+		if pol == "oracle" {
+			if err := s.oracleAssign(ctx, sim, m, app); err != nil {
+				return nil, fmt.Errorf("harness: %s on %s: oracle search: %w", app.Name, m.Name, err)
+			}
 		}
 	}
 	if s.MaxCycles > 0 {
@@ -328,7 +367,40 @@ func (s *Suite) simulate(ctx context.Context, app workloads.Workload, m config.M
 		}
 		return nil, fmt.Errorf("harness: %s on %s: %w", app.Name, m.Name, err)
 	}
+	s.allocMigrations.Add(int64(r.AllocMigrations))
+	s.allocEpochs.Add(int64(r.AllocEpochs))
 	return r, nil
+}
+
+// Oracle-search budget: each candidate static assignment is profiled
+// for this many cycles, and the canonical enumeration is capped at
+// this many candidates (core.SearchStatic).
+const (
+	oraclePrefixCycles  = 20_000
+	oracleMaxCandidates = 64
+)
+
+// oracleAssign replaces sim's seed placement with the best static
+// assignment found by profiling every canonical assignment of the same
+// workload for a short prefix under the static policy
+// (core.SearchStatic). The throwaway search runs are sequential and
+// abort with ctx.
+func (s *Suite) oracleAssign(ctx context.Context, sim *core.Simulator, m config.Machine, app workloads.Workload) error {
+	sm := m
+	sm.Alloc = config.AllocConfig{}
+	mk := func() (*core.Simulator, error) {
+		probe, err := core.New(sm, app.Build(sm.Threads(), sm.Chips, s.Size))
+		if err != nil {
+			return nil, err
+		}
+		probe.Interrupt = ctx.Done()
+		return probe, nil
+	}
+	best, _, err := core.SearchStatic(mk, oraclePrefixCycles, oracleMaxCandidates)
+	if err != nil {
+		return err
+	}
+	return sim.SetAssignment(best)
 }
 
 // Simulations returns how many simulations this suite actually ran on
@@ -337,6 +409,15 @@ func (s *Suite) simulate(ctx context.Context, app workloads.Workload, m config.M
 // counter the fabric's federated-cache tests and /healthz use to prove
 // "zero simulations ran" on a fully cached resubmission.
 func (s *Suite) Simulations() int64 { return s.sims.Load() }
+
+// AllocMigrations returns the total number of thread migrations the
+// allocation subsystem performed across every simulation this suite
+// ran locally (always zero under the static policy).
+func (s *Suite) AllocMigrations() int64 { return s.allocMigrations.Load() }
+
+// AllocEpochs returns the total number of allocation epoch boundaries
+// evaluated across every simulation this suite ran locally.
+func (s *Suite) AllocEpochs() int64 { return s.allocEpochs.Load() }
 
 // Metrics returns the retained frame ring for the given simulated run
 // ("app@machine", as listed by MetricsRuns), or nil. Note that cached

@@ -87,7 +87,13 @@ func (t *Thread) DecodeArch(r *snap.Reader) {
 	if r.Err() != nil {
 		return
 	}
-	if pc < 0 || pc >= int64(len(t.Prog.Code)) {
+	// A halted thread's PC legitimately rests one past the instruction
+	// that halted it; a running thread's must address real code.
+	limit := int64(len(t.Prog.Code))
+	if !t.Halted {
+		limit--
+	}
+	if pc < 0 || pc > limit {
 		r.Fail(fmt.Errorf("interp: thread %d: restored PC %d out of range", t.ID, pc))
 		return
 	}

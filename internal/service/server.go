@@ -49,6 +49,14 @@ type Options struct {
 	// checkpoints are persisted next to the result envelopes and
 	// restored across daemon restarts.
 	WarmupCycles int64
+	// AllocPolicy selects the thread-to-cluster allocation policy for
+	// every simulation this server runs ("" or "static" = the seed
+	// placement; see internal/alloc). It is part of the machine's
+	// canonical encoding, so results cached under one policy are never
+	// served for another. AllocEpoch is the dynamic policies' rebalance
+	// interval in cycles (0 = config.DefaultAllocEpoch).
+	AllocPolicy string
+	AllocEpoch  int64
 	// MetricsInterval > 0 samples interval metrics on every simulation,
 	// served by GET /v1/metrics/{run}.
 	MetricsInterval int64
@@ -227,6 +235,8 @@ func (s *Server) suite(size workloads.Size) *harness.Suite {
 		st = harness.NewSuite(size)
 		st.MaxCycles = s.opts.MaxCycles
 		st.Parallel = s.opts.Parallel
+		st.AllocPolicy = s.opts.AllocPolicy
+		st.AllocEpoch = s.opts.AllocEpoch
 		st.MetricsInterval = s.opts.MetricsInterval
 		st.MetricsRingCap = s.opts.MetricsRingCap
 		st.WarmupCycles = s.opts.WarmupCycles
@@ -241,9 +251,16 @@ func (s *Server) suite(size workloads.Size) *harness.Suite {
 			// Hook fires on singleflight owners only, so the histogram
 			// measures true local simulation time — never dispatch or
 			// probe round trips.
+			// The histogram's policy label is the normalized policy name,
+			// so the seed placement reads "static" whether configured
+			// explicitly or by default.
+			policy := config.AllocConfig{Policy: s.opts.AllocPolicy}.Normalize().Policy
+			if policy == "" {
+				policy = "static"
+			}
 			st.OnSimulate = func(ctx context.Context, app, machine string, highEnd bool, d time.Duration, err error) {
-				observe(s.tel.simulate, d)
-				attrs := map[string]string{"app": app, "machine": machine}
+				observe(s.tel.simulate.With(policy), d)
+				attrs := map[string]string{"app": app, "machine": machine, "policy": policy}
 				if err != nil {
 					attrs["error"] = err.Error()
 				}

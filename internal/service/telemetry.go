@@ -35,7 +35,7 @@ type svcTelemetry struct {
 
 	queueWait  *telemetry.Histogram
 	e2e        *telemetry.Histogram
-	simulate   *telemetry.Histogram
+	simulate   *telemetry.HistogramVec
 	cacheWrite *telemetry.Histogram
 	dispatch   *telemetry.Histogram
 	snapFetch  *telemetry.Histogram
@@ -55,8 +55,9 @@ func newSvcTelemetry(s *Server, spanCap int) *svcTelemetry {
 			"Time jobs spend admitted but not yet running.", telemetry.DefaultLatencyBuckets),
 		e2e: r.Histogram("clusterd_job_e2e_seconds",
 			"End-to-end job latency, submission to terminal state.", telemetry.DefaultLatencyBuckets),
-		simulate: r.Histogram("clusterd_simulate_seconds",
-			"Wall time of local simulations (singleflight owners only).", telemetry.DefaultLatencyBuckets),
+		simulate: r.HistogramVec("clusterd_simulate_seconds",
+			"Wall time of local simulations (singleflight owners only), by allocation policy.",
+			telemetry.DefaultLatencyBuckets, "policy"),
 		cacheWrite: r.Histogram("clusterd_cache_write_seconds",
 			"Time to fill the result cache after a fresh simulation.", telemetry.DefaultLatencyBuckets),
 		dispatch: r.Histogram("clusterd_dispatch_seconds",
@@ -102,6 +103,10 @@ func newSvcTelemetry(s *Server, spanCap int) *svcTelemetry {
 
 	r.CounterFunc("clusterd_simulations", "Simulations actually executed on this node.",
 		func() float64 { return float64(s.simulations()) })
+	r.CounterFunc("clusterd_alloc_migrations", "Thread migrations performed by dynamic allocation policies.",
+		func() float64 { return float64(s.allocMigrations()) })
+	r.CounterFunc("clusterd_alloc_epochs", "Allocation epoch boundaries evaluated by dynamic policies.",
+		func() float64 { return float64(s.allocEpochs()) })
 
 	r.CollectFunc("clusterd_fabric_events", "Coordinator routing events.",
 		telemetry.TypeCounter, []string{"event"},
@@ -182,6 +187,28 @@ func (s *Server) simulations() int64 {
 	var n int64
 	for _, st := range s.suites {
 		n += st.Simulations()
+	}
+	return n
+}
+
+// allocMigrations sums accepted thread migrations across suites.
+func (s *Server) allocMigrations() int64 {
+	s.suiteMu.Lock()
+	defer s.suiteMu.Unlock()
+	var n int64
+	for _, st := range s.suites {
+		n += st.AllocMigrations()
+	}
+	return n
+}
+
+// allocEpochs sums allocation epoch boundaries across suites.
+func (s *Server) allocEpochs() int64 {
+	s.suiteMu.Lock()
+	defer s.suiteMu.Unlock()
+	var n int64
+	for _, st := range s.suites {
+		n += st.AllocEpochs()
 	}
 	return n
 }
